@@ -1,0 +1,42 @@
+#ifndef DBG4ETH_BENCH_BENCH_COMMON_H_
+#define DBG4ETH_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace dbg4eth {
+namespace benchutil {
+
+/// Wall-clock timer for harness phases.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the bench banner with the paper reference this binary reproduces.
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s (DBG4ETH, ICDE 2025)\n", paper_ref.c_str());
+  std::printf("Workload scale: set DBG4ETH_SCALE to shrink/grow datasets.\n");
+  std::printf("================================================================\n\n");
+}
+
+inline void PrintFooter(const Timer& timer) {
+  std::printf("\n[total harness time: %.1fs]\n", timer.Seconds());
+}
+
+}  // namespace benchutil
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,128 @@
+// Reproduces paper Fig. 7: ROC curves of five classifier heads (LightGBM,
+// MLP, random forest, AdaBoost, XGBoost-style) applied to the calibrated
+// branch probabilities, per account type. The branch encoders and
+// calibrators are trained once per dataset; only the head is swapped. The
+// paper's shape: LightGBM's curve dominates (or ties) the other heads on
+// every account category.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "ml/metrics.h"
+
+namespace dbg4eth {
+namespace {
+
+constexpr core::HeadKind kHeads[] = {
+    core::HeadKind::kLightGbm, core::HeadKind::kMlp,
+    core::HeadKind::kRandomForest, core::HeadKind::kAdaBoost,
+    core::HeadKind::kXgboost};
+
+int Run() {
+  benchutil::Timer timer;
+  benchutil::PrintHeader("Fig. 7 — classifier-head ROC comparison",
+                         "Figure 7");
+
+  core::ExperimentWorkload workload;
+  if (!workload.EnsureLedger().ok()) return 1;
+
+  TablePrinter auc_table({"Dataset", "lightgbm", "mlp", "random_forest",
+                          "adaboost", "xgboost", "best head"});
+  TablePrinter f1_table({"Dataset", "lightgbm", "mlp", "random_forest",
+                         "adaboost", "xgboost"});
+  int lightgbm_wins = 0;
+  int datasets = 0;
+
+  const int kSeeds = 2;  // Branch encoders retrained per seed.
+  for (eth::AccountClass cls : core::ExperimentWorkload::MainClasses()) {
+    double auc_sum[5] = {0, 0, 0, 0, 0};
+    double f1_sum[5] = {0, 0, 0, 0, 0};
+    int auc_runs[5] = {0, 0, 0, 0, 0};
+    std::vector<ml::RocPoint> lightgbm_curve;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      auto ds_result = workload.BuildDataset(cls);
+      if (!ds_result.ok()) return 1;
+      eth::SubgraphDataset ds = std::move(ds_result).ValueOrDie();
+
+      core::Dbg4EthConfig config = core::DefaultModelConfig(7 + 1000 * seed);
+      // Held-out protocol: the head comparison needs honest validation
+      // features (in-sample branch scores saturate and erase the score
+      // granularity the ROC comparison measures).
+      config.encoders_use_validation = false;
+      Rng rng(config.seed);
+      const ml::SplitIndices split = ml::StratifiedSplit(
+          ds.labels(), config.train_fraction, config.val_fraction, &rng);
+      core::Dbg4Eth model(config);
+      Status st = model.Train(&ds, split);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s train failed: %s\n",
+                     eth::AccountClassName(cls), st.ToString().c_str());
+        return 1;
+      }
+      for (int h = 0; h < 5; ++h) {
+        auto report =
+            model.EvaluateWithHead(kHeads[h], ds, split.val, split.test);
+        if (!report.ok()) continue;
+        auc_sum[h] += report.ValueOrDie().auc;
+        f1_sum[h] += report.ValueOrDie().metrics.f1 * 100;
+        ++auc_runs[h];
+        if (kHeads[h] == core::HeadKind::kLightGbm && seed == 0) {
+          lightgbm_curve = ml::RocCurve(report.ValueOrDie().test_labels,
+                                        report.ValueOrDie().test_probs);
+        }
+      }
+    }
+    std::vector<std::string> row = {eth::AccountClassName(cls)};
+    double best_auc = -1.0;
+    std::string best_name;
+    for (int h = 0; h < 5; ++h) {
+      const double auc = auc_runs[h] > 0 ? auc_sum[h] / auc_runs[h] : 0.0;
+      row.push_back(FormatFixed(auc, 4));
+      if (auc > best_auc) {
+        best_auc = auc;
+        best_name = core::HeadKindName(kHeads[h]);
+      }
+    }
+    row.push_back(best_name);
+    auc_table.AddRow(row);
+    std::vector<double> f1_row;
+    for (int h = 0; h < 5; ++h) {
+      f1_row.push_back(auc_runs[h] > 0 ? f1_sum[h] / auc_runs[h] : 0.0);
+    }
+    f1_table.AddRow(eth::AccountClassName(cls), f1_row);
+    ++datasets;
+    if (best_name == "lightgbm") ++lightgbm_wins;
+
+    // The ROC series behind the figure (LightGBM curve, FPR/TPR points).
+    std::printf("%s LightGBM ROC:", eth::AccountClassName(cls));
+    for (const auto& point : lightgbm_curve) {
+      std::printf(" (%.2f,%.2f)", point.fpr, point.tpr);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nAUC per classifier head:\n\n");
+  auc_table.Print(std::cout);
+  std::printf("\nF1 (%%) per classifier head at threshold 0.5:\n\n");
+  f1_table.Print(std::cout);
+  std::printf("\nLightGBM best-or-tied AUC on %d/%d datasets\n",
+              lightgbm_wins, datasets);
+  std::printf(
+      "paper check: the paper's Fig. 7 shows LightGBM's ROC dominating.\n"
+      "On this substrate the five heads sit within a few AUC points of\n"
+      "each other (the head input is just two well-calibrated\n"
+      "probabilities); tree heads emit stepped scores whose ties cost\n"
+      "trapezoid AUC, so smooth-scoring heads can edge ahead — see\n"
+      "EXPERIMENTS.md for the deviation discussion.\n");
+  benchutil::PrintFooter(timer);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbg4eth
+
+int main() { return dbg4eth::Run(); }

@@ -1,0 +1,117 @@
+// Scenario: a compliance team must identify which counterparty addresses
+// are undeclared exchange hot wallets (KYC / "know your account"). The
+// team has a handful of confirmed labels and a large pool of unknown
+// addresses; it wants a ranked review queue.
+//
+// This example trains an exchange identifier, scores every unknown
+// candidate, and reports precision-at-k of the resulting review queue.
+//
+// Run: ./build/examples/example_exchange_compliance
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/label_store.h"
+#include "eth/ledger.h"
+#include "graph/build.h"
+#include "graph/sampling.h"
+#include "features/node_features.h"
+
+using namespace dbg4eth;  // Example code; library code never does this.
+
+int main() {
+  eth::LedgerConfig ledger_config;
+  ledger_config.num_normal = 1500;
+  ledger_config.num_exchange = 40;
+  ledger_config.duration_days = 180.0;
+  ledger_config.seed = 11;
+  eth::LedgerSimulator ledger(ledger_config);
+  if (!ledger.Generate().ok()) return 1;
+
+  // Label scarcity: the public label cloud covers only 60% of exchanges.
+  Rng label_rng(3);
+  eth::LabelStore labels =
+      eth::LabelStore::BuildFromLedger(ledger, 0.6, &label_rng);
+  const auto known_exchanges =
+      labels.LabeledAccounts(eth::AccountClass::kExchange);
+  std::printf("label cloud: %zu labeled accounts, %zu known exchanges\n",
+              labels.size(), known_exchanges.size());
+
+  // Train on the labeled subset.
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kExchange;
+  ds_config.max_positives = static_cast<int>(known_exchanges.size());
+  ds_config.num_time_slices = 8;
+  auto ds = eth::BuildDataset(ledger, ds_config);
+  if (!ds.ok()) return 1;
+  eth::SubgraphDataset dataset = std::move(ds).ValueOrDie();
+  core::Dbg4EthConfig config;
+  config.gsg.hidden_dim = 24;
+  config.gsg.epochs = 8;
+  config.ldg.hidden_dim = 24;
+  config.ldg.epochs = 6;
+  core::Dbg4Eth model(config);
+  Rng split_rng(config.seed);
+  const ml::SplitIndices split = ml::StratifiedSplit(
+      dataset.labels(), config.train_fraction, config.val_fraction,
+      &split_rng);
+  if (!model.Train(&dataset, split).ok()) return 1;
+
+  // Candidate pool: unlabeled exchanges (ground truth hidden) mixed with
+  // active normal users.
+  struct Candidate {
+    eth::AccountId id;
+    bool truly_exchange;
+    double score = 0.0;
+  };
+  std::vector<Candidate> queue;
+  for (eth::AccountId id :
+       ledger.AccountsOfClass(eth::AccountClass::kExchange)) {
+    if (!labels.Lookup(id).has_value()) queue.push_back({id, true});
+  }
+  Rng pick_rng(9);
+  int added_normals = 0;
+  while (added_normals < 60) {
+    const eth::AccountId id = 1 + pick_rng.UniformInt(ledger_config.num_normal);
+    if (ledger.TransactionsOf(id).size() < 8) continue;
+    queue.push_back({id, false});
+    ++added_normals;
+  }
+
+  graph::SamplingConfig sampling;
+  int scored = 0;
+  for (Candidate& candidate : queue) {
+    auto sub_result = graph::SampleSubgraph(ledger, candidate.id, sampling);
+    if (!sub_result.ok()) continue;
+    eth::TxSubgraph sub = std::move(sub_result).ValueOrDie();
+    eth::GraphInstance inst;
+    inst.gsg = graph::BuildGlobalStaticGraph(sub);
+    inst.ldg = graph::BuildLocalDynamicGraphs(sub, 8);
+    const Matrix feats =
+        features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
+    inst.gsg.node_features = feats;
+    for (auto& slice : inst.ldg) slice.node_features = feats;
+    inst.subgraph = std::move(sub);
+    model.Normalize(&inst);  // apply the model's feature statistics
+    candidate.score = model.PredictProba(inst);
+    ++scored;
+  }
+  std::printf("scored %d candidate addresses\n\n", scored);
+
+  std::sort(queue.begin(), queue.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score;
+  });
+  std::printf("top of the review queue:\n");
+  const int k = std::min<int>(10, static_cast<int>(queue.size()));
+  int hits = 0;
+  for (int i = 0; i < k; ++i) {
+    std::printf("  #%2d account %5d  P(exchange)=%.3f  [%s]\n", i + 1,
+                queue[i].id, queue[i].score,
+                queue[i].truly_exchange ? "exchange" : "normal user");
+    hits += queue[i].truly_exchange ? 1 : 0;
+  }
+  std::printf("\nprecision@%d = %.0f%%\n", k, 100.0 * hits / k);
+  return 0;
+}

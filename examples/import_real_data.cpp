@@ -1,0 +1,93 @@
+// Scenario: an analyst has real chain data — a transaction dump plus a
+// label list exported from a block explorer — and wants to run the full
+// DBG4ETH pipeline on it.
+//
+// The CSV format is documented in eth/csv_ledger.h:
+//   transactions: from,to,value,timestamp,gas_price,gas_used,to_is_contract
+//   labels:       address,label
+//
+// For a self-contained demo this example first *exports* a simulated
+// ledger to CSV files (standing in for the explorer dump), then runs the
+// import -> dataset -> train -> classify path exactly as it would on real
+// data.
+//
+// Run: ./build/examples/example_import_real_data
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/dbg4eth.h"
+#include "eth/csv_ledger.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+
+using namespace dbg4eth;  // Example code; library code never does this.
+
+int main() {
+  // --- stand-in for a block-explorer export ---
+  eth::LedgerConfig sim_config;
+  sim_config.num_normal = 1200;
+  sim_config.duration_days = 150.0;
+  sim_config.seed = 33;
+  eth::LedgerSimulator sim(sim_config);
+  if (!sim.Generate().ok()) return 1;
+  const char* tx_path = "/tmp/dbg4eth_transactions.csv";
+  const char* label_path = "/tmp/dbg4eth_labels.csv";
+  {
+    std::ofstream tx_file(tx_path);
+    std::ofstream label_file(label_path);
+    eth::WriteTransactionsCsv(sim, &tx_file);
+    eth::WriteLabelsCsv(sim, &label_file);
+  }
+  std::printf("exported %zu transactions to %s\n", sim.transactions().size(),
+              tx_path);
+
+  // --- the actual import path an analyst would start from ---
+  std::ifstream tx_file(tx_path);
+  auto ledger_result = eth::CsvLedger::FromCsv(&tx_file);
+  if (!ledger_result.ok()) {
+    std::fprintf(stderr, "import: %s\n",
+                 ledger_result.status().ToString().c_str());
+    return 1;
+  }
+  auto ledger = std::move(ledger_result).ValueOrDie();
+  std::ifstream label_file(label_path);
+  auto labels_applied = ledger->LoadLabels(&label_file);
+  if (!labels_applied.ok()) return 1;
+  std::printf("imported %zu accounts, %zu transactions, %d labels\n",
+              ledger->accounts().size(), ledger->transactions().size(),
+              labels_applied.ValueOrDie());
+
+  // Train a phish-hack identifier on the imported data.
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kPhishHack;
+  ds_config.max_positives = 40;
+  ds_config.num_time_slices = 8;
+  auto ds = eth::BuildDataset(*ledger, ds_config);
+  if (!ds.ok()) return 1;
+  eth::SubgraphDataset dataset = std::move(ds).ValueOrDie();
+
+  core::Dbg4EthConfig model_config;
+  model_config.gsg.hidden_dim = 24;
+  model_config.gsg.epochs = 8;
+  model_config.ldg.hidden_dim = 24;
+  model_config.ldg.epochs = 6;
+  core::Dbg4Eth model(model_config);
+  auto report = model.TrainAndEvaluate(&dataset);
+  if (!report.ok()) return 1;
+  std::printf("\nphish-hack identification on imported data:\n");
+  std::printf("  F1 %.2f%%  accuracy %.2f%%  AUC %.3f\n",
+              report.ValueOrDie().metrics.f1 * 100,
+              report.ValueOrDie().metrics.accuracy * 100,
+              report.ValueOrDie().auc);
+
+  // Look up a specific address the way an analyst would.
+  const auto phishes = ledger->AccountsOfClass(eth::AccountClass::kPhishHack);
+  if (!phishes.empty()) {
+    std::printf("\nexample address lookup: '%s' is labeled %s\n",
+                ledger->AddressOf(phishes[0]).c_str(),
+                eth::AccountClassName(
+                    ledger->accounts()[phishes[0]].cls));
+  }
+  return 0;
+}

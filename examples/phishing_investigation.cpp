@@ -1,0 +1,134 @@
+// Scenario: an investigator receives a report about a suspicious address
+// and wants (a) a calibrated probability that it is a phishing/hack
+// wallet and (b) the behavioural evidence behind the call.
+//
+// This example trains a phish-hack model, then "investigates" unlabeled
+// suspect addresses: it samples each suspect's transaction subgraph,
+// scores it, and prints the 15-dim deep features of the suspect next to
+// the average profile of known phishing wallets.
+//
+// Run: ./build/examples/example_phishing_investigation
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "features/node_features.h"
+#include "graph/build.h"
+#include "graph/sampling.h"
+
+using namespace dbg4eth;  // Example code; library code never does this.
+
+namespace {
+
+/// Builds one GraphInstance for a suspect account outside the training
+/// dataset (the same materialization BuildDataset performs).
+Result<eth::GraphInstance> Investigate(const eth::LedgerSimulator& ledger,
+                                       eth::AccountId suspect,
+                                       int num_time_slices) {
+  graph::SamplingConfig sampling;
+  DBG4ETH_ASSIGN_OR_RETURN(eth::TxSubgraph sub,
+                           graph::SampleSubgraph(ledger, suspect, sampling));
+  eth::GraphInstance inst;
+  inst.gsg = graph::BuildGlobalStaticGraph(sub);
+  inst.ldg = graph::BuildLocalDynamicGraphs(sub, num_time_slices);
+  const Matrix feats =
+      features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
+  inst.gsg.node_features = feats;
+  for (auto& slice : inst.ldg) slice.node_features = feats;
+  inst.subgraph = std::move(sub);
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  eth::LedgerConfig ledger_config;
+  ledger_config.num_normal = 1500;
+  ledger_config.duration_days = 180.0;
+  ledger_config.seed = 7;
+  eth::LedgerSimulator ledger(ledger_config);
+  if (!ledger.Generate().ok()) return 1;
+
+  // Train the detector on the labeled portion.
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kPhishHack;
+  ds_config.max_positives = 40;
+  ds_config.num_time_slices = 8;
+  auto ds = eth::BuildDataset(ledger, ds_config);
+  if (!ds.ok()) return 1;
+  eth::SubgraphDataset dataset = std::move(ds).ValueOrDie();
+
+  core::Dbg4EthConfig config;
+  config.gsg.hidden_dim = 24;
+  config.gsg.epochs = 8;
+  config.ldg.hidden_dim = 24;
+  config.ldg.epochs = 6;
+  core::Dbg4Eth model(config);
+  Rng rng(config.seed);
+  const ml::SplitIndices split = ml::StratifiedSplit(
+      dataset.labels(), config.train_fraction, config.val_fraction, &rng);
+  if (!model.Train(&dataset, split).ok()) return 1;
+  std::printf("detector trained on %zu graphs\n\n", split.train.size());
+
+  // Mean phishing profile (log-scaled features of known positive centers).
+  std::vector<double> phish_profile(features::kFeatureDim, 0.0);
+  int n_pos = 0;
+  for (const auto& inst : dataset.instances) {
+    if (inst.label != 1) continue;
+    for (int c = 0; c < features::kFeatureDim; ++c) {
+      phish_profile[c] += inst.gsg.node_features.At(inst.gsg.center, c);
+    }
+    ++n_pos;
+  }
+  for (double& v : phish_profile) v /= n_pos;
+
+  // Suspects: one actual phishing wallet, one exchange, one normal user,
+  // none of which the investigator has labels for.
+  struct Suspect {
+    const char* description;
+    eth::AccountId id;
+  };
+  const std::vector<Suspect> suspects = {
+      {"reported drainer wallet",
+       ledger.AccountsOfClass(eth::AccountClass::kPhishHack).back()},
+      {"high-volume counterparty",
+       ledger.AccountsOfClass(eth::AccountClass::kExchange).back()},
+      {"random retail user", 25},
+  };
+  for (const Suspect& suspect : suspects) {
+    auto inst_result = Investigate(ledger, suspect.id, 8);
+    if (!inst_result.ok()) {
+      std::printf("%-26s : no transaction history (%s)\n",
+                  suspect.description,
+                  inst_result.status().ToString().c_str());
+      continue;
+    }
+    eth::GraphInstance inst = std::move(inst_result).ValueOrDie();
+    model.Normalize(&inst);  // apply the model's feature statistics
+    const double p = model.PredictProba(inst);
+    std::printf("%-26s : P(phish) = %.3f  %s\n", suspect.description, p,
+                p > 0.5 ? "<-- FLAG FOR REVIEW" : "");
+
+    // Evidence: suspect's features vs. the known-phish profile, largest
+    // deviations first.
+    std::vector<std::pair<double, int>> deviations;
+    for (int c = 0; c < features::kFeatureDim; ++c) {
+      const double value = inst.gsg.node_features.At(inst.gsg.center, c);
+      deviations.push_back({value - phish_profile[c], c});
+    }
+    std::sort(deviations.begin(), deviations.end(), [](auto a, auto b) {
+      return std::abs(a.first) > std::abs(b.first);
+    });
+    std::printf("    strongest deviations from known-phish profile:");
+    for (int k = 0; k < 3; ++k) {
+      std::printf(" %s(%+.1f)",
+                  features::FeatureNames()[deviations[k].second].c_str(),
+                  deviations[k].first);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the whole DBG4ETH pipeline in ~60 lines.
+//
+// 1. Simulate an Ethereum ledger with labeled behavioural classes.
+// 2. Build an account-centred subgraph dataset for one class.
+// 3. Train the double-graph model (GSG + LDG + adaptive calibration +
+//    LightGBM head) and evaluate it.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+
+using namespace dbg4eth;  // Example code; library code never does this.
+
+int main() {
+  // 1. A synthetic Ethereum ledger: ~4k accounts, class-specific behaviour
+  //    generators (exchange hubs, ICO bursts, mining periodicity, ...).
+  eth::LedgerConfig ledger_config;
+  ledger_config.num_normal = 1500;
+  ledger_config.duration_days = 180.0;
+  ledger_config.seed = 42;
+  eth::LedgerSimulator ledger(ledger_config);
+  if (Status st = ledger.Generate(); !st.ok()) {
+    std::fprintf(stderr, "ledger: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ledger: %zu accounts, %zu transactions\n",
+              ledger.accounts().size(), ledger.transactions().size());
+
+  // 2. A binary dataset: is this account a phishing/hack wallet?
+  //    Sampling keeps each account's top-K counterparties by average
+  //    transaction value, 2 hops deep (paper Eq. 2).
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kPhishHack;
+  ds_config.max_positives = 40;
+  ds_config.num_time_slices = 8;
+  auto ds_result = eth::BuildDataset(ledger, ds_config);
+  if (!ds_result.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 ds_result.status().ToString().c_str());
+    return 1;
+  }
+  eth::SubgraphDataset dataset = std::move(ds_result).ValueOrDie();
+  std::printf("dataset: %d graphs (%d positive), avg %.0f nodes\n",
+              dataset.num_graphs(), dataset.num_positives(),
+              dataset.avg_nodes());
+
+  // 3. Train and evaluate the full double-graph model.
+  core::Dbg4EthConfig model_config;
+  model_config.gsg.hidden_dim = 24;
+  model_config.gsg.epochs = 8;
+  model_config.ldg.hidden_dim = 24;
+  model_config.ldg.epochs = 6;
+  core::Dbg4Eth model(model_config);
+  auto report_result = model.TrainAndEvaluate(&dataset);
+  if (!report_result.ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 report_result.status().ToString().c_str());
+    return 1;
+  }
+  const core::EvaluationReport& report = report_result.ValueOrDie();
+  std::printf("\nDBG4ETH on phish-hack:\n");
+  std::printf("  precision %.2f%%  recall %.2f%%  F1 %.2f%%  accuracy "
+              "%.2f%%  AUC %.3f\n",
+              report.metrics.precision * 100, report.metrics.recall * 100,
+              report.metrics.f1 * 100, report.metrics.accuracy * 100,
+              report.auc);
+
+  // The adaptive calibration fitted six methods per branch (Eq. 24-25).
+  std::printf("\nGSG calibration weights:");
+  for (const auto& m : report.gsg_calibration) {
+    std::printf(" %s=%.2f", m.name.c_str(), m.weight);
+  }
+  std::printf("\nLDG calibration weights:");
+  for (const auto& m : report.ldg_calibration) {
+    std::printf(" %s=%.2f", m.name.c_str(), m.weight);
+  }
+  std::printf("\n");
+  return 0;
+}

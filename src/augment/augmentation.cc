@@ -1,0 +1,112 @@
+#include "augment/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dbg4eth {
+namespace augment {
+
+namespace {
+
+/// GCA-style probability shaping: values with high score s get probability
+/// below the base rate, low-score values above it, clamped at max_prob.
+std::vector<double> ShapeProbabilities(const std::vector<double>& scores,
+                                       double base_prob, double max_prob) {
+  std::vector<double> probs(scores.size(), base_prob);
+  if (scores.empty()) return probs;
+  const double s_max = MaxOf(scores);
+  const double s_mean = Mean(scores);
+  const double denom = s_max - s_mean;
+  if (denom <= 1e-12) return probs;  // Uniform scores: uniform probability.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probs[i] = std::min(base_prob * (s_max - scores[i]) / denom, max_prob);
+  }
+  return probs;
+}
+
+}  // namespace
+
+std::vector<double> EdgeDropProbabilities(const graph::Graph& g,
+                                          const AugmentationConfig& config) {
+  const std::vector<double> centrality =
+      graph::EdgeCentrality(g, config.measure);
+  return ShapeProbabilities(centrality, config.edge_drop_prob,
+                            config.max_prob);
+}
+
+std::vector<double> FeatureMaskProbabilities(
+    const graph::Graph& g, const AugmentationConfig& config) {
+  DBG4ETH_CHECK(!g.node_features.empty());
+  const std::vector<double> node_c = graph::NodeCentrality(g, config.measure);
+  const int dim = g.node_features.cols();
+  // Salience of dimension d: sum_v centrality(v) * |x_{v,d}| (log-scaled).
+  std::vector<double> salience(dim, 0.0);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int d = 0; d < dim; ++d) {
+      salience[d] += node_c[v] * std::fabs(g.node_features.At(v, d));
+    }
+  }
+  for (double& s : salience) s = std::log1p(s);
+  return ShapeProbabilities(salience, config.feature_mask_prob,
+                            config.max_prob);
+}
+
+graph::Graph AugmentGraph(const graph::Graph& g,
+                          const AugmentationConfig& config, Rng* rng) {
+  graph::Graph out;
+  out.num_nodes = g.num_nodes;
+  out.center = g.center;
+  out.label = g.label;
+
+  // Topology-level: drop edges adaptively.
+  if (!g.edges.empty() && config.edge_drop_prob > 0.0) {
+    const std::vector<double> drop = EdgeDropProbabilities(g, config);
+    std::vector<int> kept;
+    for (int m = 0; m < g.num_edges(); ++m) {
+      if (!rng->Bernoulli(drop[m])) kept.push_back(m);
+    }
+    // Never drop every edge: keep the most central one if all were dropped.
+    if (kept.empty()) {
+      int best = 0;
+      for (int m = 1; m < g.num_edges(); ++m) {
+        if (drop[m] < drop[best]) best = m;
+      }
+      kept.push_back(best);
+    }
+    out.edges.reserve(kept.size());
+    if (!g.edge_features.empty()) {
+      out.edge_features =
+          Matrix(static_cast<int>(kept.size()), g.edge_features.cols());
+    }
+    for (size_t i = 0; i < kept.size(); ++i) {
+      out.edges.push_back(g.edges[kept[i]]);
+      for (int c = 0; c < g.edge_features.cols(); ++c) {
+        out.edge_features.At(static_cast<int>(i), c) =
+            g.edge_features.At(kept[i], c);
+      }
+    }
+  } else {
+    out.edges = g.edges;
+    out.edge_features = g.edge_features;
+  }
+
+  // Node-attribute-level: mask whole dimensions adaptively.
+  out.node_features = g.node_features;
+  if (!g.node_features.empty() && config.feature_mask_prob > 0.0) {
+    const std::vector<double> mask = FeatureMaskProbabilities(g, config);
+    for (int d = 0; d < out.node_features.cols(); ++d) {
+      if (rng->Bernoulli(mask[d])) {
+        for (int v = 0; v < out.num_nodes; ++v) {
+          out.node_features.At(v, d) = 0.0;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace augment
+}  // namespace dbg4eth

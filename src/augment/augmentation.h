@@ -1,0 +1,44 @@
+#ifndef DBG4ETH_AUGMENT_AUGMENTATION_H_
+#define DBG4ETH_AUGMENT_AUGMENTATION_H_
+
+#include "common/rng.h"
+#include "graph/centrality.h"
+#include "graph/graph.h"
+
+namespace dbg4eth {
+namespace augment {
+
+/// \brief Parameters of graph contrastive learning with adaptive
+/// augmentation (GCA, Zhu et al. 2021), used by the GSG encoder.
+///
+/// `edge_drop_prob` is the paper's P_e and `feature_mask_prob` its P_f; the
+/// per-edge/per-dimension probabilities adapt around these base rates so
+/// that central (important) edges and salient feature dimensions are
+/// perturbed less.
+struct AugmentationConfig {
+  double edge_drop_prob = 0.3;
+  double feature_mask_prob = 0.1;
+  graph::CentralityMeasure measure = graph::CentralityMeasure::kDegree;
+  /// Upper clamp on any individual drop/mask probability.
+  double max_prob = 0.9;
+};
+
+/// Topology-level augmentation: drops each edge with probability inversely
+/// related to its centrality (Eq. in Sec. IV-A3 / GCA Sec. 3.2), then
+/// node-attribute-level augmentation: masks whole feature dimensions with
+/// probability inversely related to their centrality-weighted salience.
+graph::Graph AugmentGraph(const graph::Graph& g,
+                          const AugmentationConfig& config, Rng* rng);
+
+/// Per-edge adaptive drop probabilities (exposed for tests/analysis).
+std::vector<double> EdgeDropProbabilities(const graph::Graph& g,
+                                          const AugmentationConfig& config);
+
+/// Per-dimension adaptive mask probabilities.
+std::vector<double> FeatureMaskProbabilities(const graph::Graph& g,
+                                             const AugmentationConfig& config);
+
+}  // namespace augment
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_AUGMENT_AUGMENTATION_H_

@@ -1,0 +1,30 @@
+#include "augment/contrastive.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace augment {
+
+ag::Tensor NtXentLoss(const ag::Tensor& z1, const ag::Tensor& z2,
+                      double temperature) {
+  DBG4ETH_CHECK_EQ(z1.rows(), z2.rows());
+  DBG4ETH_CHECK_EQ(z1.cols(), z2.cols());
+  DBG4ETH_CHECK_GE(z1.rows(), 2);
+  DBG4ETH_CHECK_GT(temperature, 0.0);
+
+  ag::Tensor n1 = ag::L2NormalizeRows(z1);
+  ag::Tensor n2 = ag::L2NormalizeRows(z2);
+  ag::Tensor sim =
+      ag::ScalarMul(ag::MatMul(n1, ag::Transpose(n2)), 1.0 / temperature);
+  std::vector<int> diag(z1.rows());
+  for (int i = 0; i < z1.rows(); ++i) diag[i] = i;
+  ag::Tensor loss12 = ag::SoftmaxCrossEntropy(sim, diag);
+  ag::Tensor loss21 = ag::SoftmaxCrossEntropy(ag::Transpose(sim), diag);
+  return ag::ScalarMul(ag::Add(loss12, loss21), 0.5);
+}
+
+}  // namespace augment
+}  // namespace dbg4eth

@@ -1,0 +1,23 @@
+#ifndef DBG4ETH_AUGMENT_CONTRASTIVE_H_
+#define DBG4ETH_AUGMENT_CONTRASTIVE_H_
+
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+namespace augment {
+
+/// \brief Symmetric NT-Xent contrastive loss over two batches of graph
+/// embeddings (one row per graph, same graph at the same row index).
+///
+/// Rows are L2-normalized, all-pairs cosine similarities are scaled by
+/// 1/temperature, and each view must identify its positive partner among
+/// the other view's rows:
+///   L = 0.5 * [CE(sim, diag) + CE(sim^T, diag)].
+/// Requires at least 2 rows (a single graph has no negatives).
+ag::Tensor NtXentLoss(const ag::Tensor& z1, const ag::Tensor& z2,
+                      double temperature = 0.5);
+
+}  // namespace augment
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_AUGMENT_CONTRASTIVE_H_

@@ -1,0 +1,74 @@
+#ifndef DBG4ETH_CALIB_ADAPTIVE_H_
+#define DBG4ETH_CALIB_ADAPTIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.h"
+
+namespace dbg4eth {
+namespace calib {
+
+/// \brief Configuration of the adaptive weight calibration (paper
+/// Sec. IV-C3). The toggles implement the Table IV ablations.
+struct AdaptiveCalibratorConfig {
+  bool use_parametric = true;      ///< false = "w/o Param. calibration".
+  bool use_nonparametric = true;   ///< false = "w/o Non-param. calibration".
+  /// When false, methods of that family receive uniform instead of
+  /// ΔECE-proportional weights ("w/o Ada. * calibration").
+  bool adaptive_parametric = true;
+  bool adaptive_nonparametric = true;
+  int ece_bins = 10;
+};
+
+/// \brief Ensemble calibrator: fits the six methods on a validation split,
+/// measures each method's ECE reduction, and combines their outputs with
+/// normalized ΔECE weights (Eq. 24-25). Weights can be negative when a
+/// method increases ECE, exactly as the paper observes in Fig. 6.
+class AdaptiveCalibrator {
+ public:
+  explicit AdaptiveCalibrator(
+      const AdaptiveCalibratorConfig& config = AdaptiveCalibratorConfig());
+
+  AdaptiveCalibrator(AdaptiveCalibrator&&) = default;
+  AdaptiveCalibrator& operator=(AdaptiveCalibrator&&) = default;
+
+  /// Fits every enabled method and its weight on (scores, labels).
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels);
+
+  /// Weighted calibrated probability P = sum_i alpha_i C_i(score), clamped
+  /// to [0, 1].
+  double Calibrate(double score) const;
+  std::vector<double> CalibrateAll(const std::vector<double>& scores) const;
+
+  /// Introspection for Fig. 6 (per-method ΔECE and normalized weight).
+  struct MethodInfo {
+    std::string name;
+    bool parametric = false;
+    double delta_ece = 0.0;
+    double weight = 0.0;
+  };
+  const std::vector<MethodInfo>& methods() const { return infos_; }
+
+  /// ECE of the raw scores on the fit split.
+  double baseline_ece() const { return baseline_ece_; }
+
+  /// Checkpointing of the full fitted ensemble (config, per-method states,
+  /// weights).
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  AdaptiveCalibratorConfig config_;
+  std::vector<std::unique_ptr<Calibrator>> calibrators_;
+  std::vector<MethodInfo> infos_;
+  double baseline_ece_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace calib
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CALIB_ADAPTIVE_H_

@@ -1,0 +1,31 @@
+#ifndef DBG4ETH_CALIB_ECE_H_
+#define DBG4ETH_CALIB_ECE_H_
+
+#include <vector>
+
+namespace dbg4eth {
+namespace calib {
+
+/// Expected calibration error (Guo et al. 2017): bins predictions by
+/// confidence into `num_bins` equal-width bins and averages
+/// |accuracy(bin) - confidence(bin)| weighted by bin mass. For binary
+/// probabilities, confidence is max(p, 1-p) and the prediction is p > 0.5.
+double ExpectedCalibrationError(const std::vector<double>& probs,
+                                const std::vector<int>& labels,
+                                int num_bins = 10);
+
+/// Reliability-diagram point: per bin, (mean confidence, accuracy, mass).
+struct ReliabilityBin {
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+  double fraction = 0.0;
+};
+
+std::vector<ReliabilityBin> ReliabilityDiagram(
+    const std::vector<double>& probs, const std::vector<int>& labels,
+    int num_bins = 10);
+
+}  // namespace calib
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CALIB_ECE_H_

@@ -1,0 +1,74 @@
+#ifndef DBG4ETH_CALIB_NONPARAMETRIC_H_
+#define DBG4ETH_CALIB_NONPARAMETRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.h"
+
+namespace dbg4eth {
+namespace calib {
+
+/// \brief Histogram binning (Zadrozny & Elkan 2001): equal-width bins over
+/// [0, 1]; calibrated probability is the empirical positive rate of the
+/// score's bin (with a Laplace prior for empty/small bins).
+class HistogramBinning : public Calibrator {
+ public:
+  explicit HistogramBinning(int num_bins = 10) : num_bins_(num_bins) {}
+
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "histogram"; }
+  bool parametric() const override { return false; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+ private:
+  int num_bins_;
+  std::vector<double> bin_probs_;
+};
+
+/// \brief Isotonic regression (Zadrozny & Elkan 2002) via the
+/// pool-adjacent-violators algorithm; piecewise-constant non-decreasing map.
+class IsotonicRegression : public Calibrator {
+ public:
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "isotonic"; }
+  bool parametric() const override { return false; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+ private:
+  std::vector<double> thresholds_;  ///< Sorted block upper scores.
+  std::vector<double> values_;      ///< Non-decreasing block values.
+};
+
+/// \brief Bayesian Binning into Quantiles (Naeini et al. 2015): model
+/// averaging over equal-frequency binning models with different bin counts,
+/// weighted by their Beta-Binomial marginal likelihood.
+class BbqCalibration : public Calibrator {
+ public:
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "bbq"; }
+  bool parametric() const override { return false; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+ private:
+  struct BinningModel {
+    std::vector<double> boundaries;  ///< Ascending inner boundaries.
+    std::vector<double> bin_probs;   ///< Posterior mean per bin.
+    double weight = 0.0;
+  };
+  std::vector<BinningModel> models_;
+};
+
+}  // namespace calib
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CALIB_NONPARAMETRIC_H_

@@ -1,0 +1,71 @@
+#ifndef DBG4ETH_CALIB_PARAMETRIC_H_
+#define DBG4ETH_CALIB_PARAMETRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.h"
+
+namespace dbg4eth {
+namespace calib {
+
+/// \brief Temperature scaling (Guo et al. 2017): sigmoid(logit(p) / T),
+/// with T fitted by golden-section search on the NLL.
+class TemperatureScaling : public Calibrator {
+ public:
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "temperature"; }
+  bool parametric() const override { return true; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+  double temperature() const { return temperature_; }
+
+ private:
+  double temperature_ = 1.0;
+};
+
+/// \brief Logistic (Platt) calibration: sigmoid(a * logit(p) + b) fitted by
+/// gradient descent on the NLL.
+class LogisticCalibration : public Calibrator {
+ public:
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "logistic"; }
+  bool parametric() const override { return true; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+/// \brief Beta calibration (Kull et al.): sigmoid(a ln p - b ln(1-p) + c)
+/// with a, b >= 0 fitted by projected gradient descent on the NLL.
+class BetaCalibration : public Calibrator {
+ public:
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels) override;
+  double Calibrate(double score) const override;
+  std::string name() const override { return "beta"; }
+  bool parametric() const override { return true; }
+  void Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+ private:
+  double a_ = 1.0;
+  double b_ = 1.0;
+  double c_ = 0.0;
+};
+
+}  // namespace calib
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CALIB_PARAMETRIC_H_

@@ -1,0 +1,70 @@
+#ifndef DBG4ETH_COMMON_RESULT_H_
+#define DBG4ETH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbg4eth {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result: `ValueOrDie()` aborts on error (used in tests and
+/// examples where failure is a programming bug), `status()`/`ok()` support
+/// explicit handling on fallible paths.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error Status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define DBG4ETH_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define DBG4ETH_INTERNAL_CONCAT(a, b) DBG4ETH_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define DBG4ETH_ASSIGN_OR_RETURN(lhs, expr)                       \
+  DBG4ETH_ASSIGN_OR_RETURN_IMPL(                                  \
+      DBG4ETH_INTERNAL_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define DBG4ETH_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                                  \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).ValueOrDie()
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_RESULT_H_

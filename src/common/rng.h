@@ -1,0 +1,80 @@
+#ifndef DBG4ETH_COMMON_RNG_H_
+#define DBG4ETH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbg4eth {
+
+/// \brief Deterministic pseudo-random number generator.
+///
+/// Wraps the SplitMix64 / xoshiro256** generators. Every stochastic
+/// component of the library takes an Rng by reference (or a seed) so that
+/// all experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  int Poisson(double mean);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  /// Non-positive weights are treated as zero; if all are zero, samples
+  /// uniformly.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Derives an independent child generator (for parallel streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_RNG_H_

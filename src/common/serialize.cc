@@ -1,0 +1,117 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace dbg4eth {
+
+namespace {
+
+constexpr size_t kMaxVectorSize = 1u << 28;  // Corruption guard.
+
+}  // namespace
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  os_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  os_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteI32(int32_t v) {
+  os_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  os_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteBool(bool v) {
+  const uint8_t byte = v ? 1 : 0;
+  os_->write(reinterpret_cast<const char*>(&byte), 1);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  os_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  os_->write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void BinaryWriter::WriteIntVector(const std::vector<int>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (int x : v) WriteI32(x);
+}
+
+Status BinaryReader::ReadBytes(void* out, size_t n) {
+  is_->read(reinterpret_cast<char*>(out),
+            static_cast<std::streamsize>(n));
+  if (!is_->good() &&
+      !(is_->eof() && static_cast<size_t>(is_->gcount()) == n)) {
+    return Status::Internal("truncated or unreadable checkpoint");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadI32(int32_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadDouble(double* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadBool(bool* v) {
+  uint8_t byte = 0;
+  DBG4ETH_RETURN_NOT_OK(ReadBytes(&byte, 1));
+  *v = byte != 0;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint32_t size = 0;
+  DBG4ETH_RETURN_NOT_OK(ReadU32(&size));
+  if (size > kMaxVectorSize) {
+    return Status::Internal("corrupt checkpoint: oversized string");
+  }
+  s->resize(size);
+  return ReadBytes(s->data(), size);
+}
+
+Status BinaryReader::ReadDoubleVector(std::vector<double>* v) {
+  uint32_t size = 0;
+  DBG4ETH_RETURN_NOT_OK(ReadU32(&size));
+  if (size > kMaxVectorSize) {
+    return Status::Internal("corrupt checkpoint: oversized vector");
+  }
+  v->resize(size);
+  return ReadBytes(v->data(), size * sizeof(double));
+}
+
+Status BinaryReader::ReadIntVector(std::vector<int>* v) {
+  uint32_t size = 0;
+  DBG4ETH_RETURN_NOT_OK(ReadU32(&size));
+  if (size > kMaxVectorSize) {
+    return Status::Internal("corrupt checkpoint: oversized vector");
+  }
+  v->resize(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    int32_t x = 0;
+    DBG4ETH_RETURN_NOT_OK(ReadI32(&x));
+    (*v)[i] = x;
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ExpectTag(const std::string& tag) {
+  std::string found;
+  DBG4ETH_RETURN_NOT_OK(ReadString(&found));
+  if (found != tag) {
+    return Status::Internal("checkpoint section mismatch: expected '" + tag +
+                            "', found '" + found + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbg4eth

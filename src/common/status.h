@@ -1,0 +1,75 @@
+#ifndef DBG4ETH_COMMON_STATUS_H_
+#define DBG4ETH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dbg4eth {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the Arrow/RocksDB convention of returning a Status from
+/// operations that can fail instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Outcome of an operation: either OK or an error code with a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates an error Status from the evaluated expression, if any.
+#define DBG4ETH_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::dbg4eth::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cctype>
+
+namespace dbg4eth {
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? needed : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatFixed(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace dbg4eth

@@ -1,0 +1,38 @@
+#ifndef DBG4ETH_COMMON_STRING_UTIL_H_
+#define DBG4ETH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dbg4eth {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with the given precision, trimming to a fixed width
+/// suitable for table output (e.g., "97.56").
+std::string FormatFixed(double value, int precision = 2);
+
+/// Pads/truncates to an exact width (left-aligned).
+std::string PadRight(const std::string& s, size_t width);
+
+/// Pads to an exact width (right-aligned).
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,39 @@
+#ifndef DBG4ETH_COMMON_TABLE_PRINTER_H_
+#define DBG4ETH_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dbg4eth {
+
+/// \brief Aligned text-table builder used by the benchmark harness to print
+/// rows in the same layout as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, the rest are fixed-precision
+  /// numbers.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table with column alignment.
+  std::string ToString() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_TABLE_PRINTER_H_

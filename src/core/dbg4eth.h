@@ -1,0 +1,147 @@
+#ifndef DBG4ETH_CORE_DBG4ETH_H_
+#define DBG4ETH_CORE_DBG4ETH_H_
+
+#include <memory>
+#include <vector>
+
+#include "calib/adaptive.h"
+#include "common/result.h"
+#include "core/gsg_encoder.h"
+#include "core/ldg_encoder.h"
+#include "eth/dataset.h"
+#include "ml/classifier.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+namespace dbg4eth {
+namespace core {
+
+/// Classifier head choices of the paper's Fig. 7 / Table IV.
+enum class HeadKind { kLightGbm, kXgboost, kMlp, kRandomForest, kAdaBoost };
+
+const char* HeadKindName(HeadKind kind);
+
+/// \brief End-to-end DBG4ETH configuration. The boolean toggles implement
+/// every Table IV ablation row.
+struct Dbg4EthConfig {
+  GsgEncoderConfig gsg;
+  LdgEncoderConfig ldg;
+  calib::AdaptiveCalibratorConfig calibration;
+
+  bool use_gsg = true;          ///< false = "w/o GSG".
+  bool use_ldg = true;          ///< false = "w/o LDG".
+  bool use_calibration = true;  ///< false = "w/o calibration".
+  /// When true (default) the branch encoders train on train+val — the same
+  /// data budget the baselines get — while calibration and the head are
+  /// still fitted on the validation split. Set false for a strictly
+  /// held-out calibration protocol.
+  bool encoders_use_validation = true;
+  HeadKind head = HeadKind::kLightGbm;  ///< kMlp = "w/o LightGBM".
+  ml::GbdtConfig gbdt;
+
+  double train_fraction = 0.6;
+  double val_fraction = 0.2;
+  uint64_t seed = 7;
+};
+
+/// \brief Evaluation output of one train/evaluate run.
+struct EvaluationReport {
+  ml::BinaryMetrics metrics;
+  double auc = 0.0;
+  std::vector<int> test_labels;
+  std::vector<double> test_probs;
+  /// Adaptive calibration introspection per branch (empty when the branch
+  /// or calibration is disabled) — the data behind Fig. 6.
+  std::vector<calib::AdaptiveCalibrator::MethodInfo> gsg_calibration;
+  std::vector<calib::AdaptiveCalibrator::MethodInfo> ldg_calibration;
+};
+
+/// \brief The double-graph de-anonymization model (paper Sec. IV).
+///
+/// Pipeline: GSG + LDG branch encoders -> confidence generation (z-scored
+/// branch scores through a sigmoid) -> adaptive six-method calibration per
+/// branch (Eq. 24-25) -> LightGBM on the calibrated pair.
+class Dbg4Eth {
+ public:
+  explicit Dbg4Eth(const Dbg4EthConfig& config);
+
+  Dbg4Eth(const Dbg4Eth&) = delete;
+  Dbg4Eth& operator=(const Dbg4Eth&) = delete;
+
+  /// Trains encoders on the train split, fits calibrators and the head on
+  /// the validation split. The dataset is standardized in place using the
+  /// train split statistics.
+  Status Train(eth::SubgraphDataset* dataset, const ml::SplitIndices& split);
+
+  /// P(target class) for one instance. Requires Train. The instance must
+  /// carry node features standardized with this model's statistics —
+  /// dataset instances passed to Train already are; instances materialized
+  /// elsewhere must go through Normalize first.
+  double PredictProba(const eth::GraphInstance& instance) const;
+
+  /// Standardizes a freshly materialized instance (raw log-scaled
+  /// features) with the train-split feature statistics so PredictProba can
+  /// score it. Requires Train.
+  void Normalize(eth::GraphInstance* instance) const;
+
+  /// Writes the full trained model (config, encoders, scalers, calibrators,
+  /// normalizer, classifier head) to a binary checkpoint. Requires Train.
+  Status Save(std::ostream* os) const;
+
+  /// Restores a model saved with Save; the result is ready for
+  /// PredictProba / Evaluate without retraining.
+  static Result<std::unique_ptr<Dbg4Eth>> Load(std::istream* is);
+
+  /// Metrics over the given instances.
+  EvaluationReport Evaluate(const eth::SubgraphDataset& dataset,
+                            const std::vector<int>& indices) const;
+
+  /// Convenience: stratified split + Train + Evaluate on the test split.
+  Result<EvaluationReport> TrainAndEvaluate(eth::SubgraphDataset* dataset);
+
+  /// Trains an alternative classifier head on `val_indices` (branch
+  /// encoders and calibrators unchanged) and evaluates it on
+  /// `test_indices` — the Fig. 7 classifier comparison. Requires Train.
+  Result<EvaluationReport> EvaluateWithHead(
+      HeadKind kind, const eth::SubgraphDataset& dataset,
+      const std::vector<int>& val_indices,
+      const std::vector<int>& test_indices) const;
+
+  const Dbg4EthConfig& config() const { return config_; }
+
+ private:
+  struct BranchScaler {
+    double mean = 0.0;
+    double stddev = 1.0;
+    double ToConfidence(double score) const;
+  };
+
+  double BranchConfidenceGsg(const eth::GraphInstance& inst) const;
+  double BranchConfidenceLdg(const eth::GraphInstance& inst) const;
+  /// GBDT config with the leaf-size floor adapted to `num_samples` so tiny
+  /// validation splits still produce a non-degenerate head.
+  ml::GbdtConfig AdjustedGbdt(int num_samples) const;
+  /// Head feature row for one instance (calibrated branch probabilities).
+  std::vector<double> HeadFeatures(const eth::GraphInstance& inst) const;
+
+  Dbg4EthConfig config_;
+  features::FeatureNormalizer normalizer_;
+  std::unique_ptr<GsgEncoder> gsg_;
+  std::unique_ptr<LdgEncoder> ldg_;
+  BranchScaler gsg_scaler_;
+  BranchScaler ldg_scaler_;
+  std::unique_ptr<calib::AdaptiveCalibrator> gsg_calibrator_;
+  std::unique_ptr<calib::AdaptiveCalibrator> ldg_calibrator_;
+  std::unique_ptr<ml::BinaryClassifier> head_;
+  bool trained_ = false;
+};
+
+/// Instantiates a classifier head.
+std::unique_ptr<ml::BinaryClassifier> MakeHead(HeadKind kind,
+                                               const ml::GbdtConfig& gbdt);
+
+}  // namespace core
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CORE_DBG4ETH_H_

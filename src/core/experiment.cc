@@ -1,0 +1,163 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "ml/split.h"
+
+namespace dbg4eth {
+namespace core {
+
+ExperimentConfig DefaultExperimentConfig() {
+  ExperimentConfig config;
+  if (const char* scale_env = std::getenv("DBG4ETH_SCALE")) {
+    const double parsed = std::atof(scale_env);
+    if (parsed > 0.01 && parsed <= 100.0) {
+      config.scale = parsed;
+    } else {
+      DBG4ETH_LOG(Warning) << "ignoring invalid DBG4ETH_SCALE=" << scale_env;
+    }
+  }
+  return config;
+}
+
+Dbg4EthConfig DefaultModelConfig(uint64_t seed) {
+  Dbg4EthConfig config;
+  config.seed = seed;
+  config.gsg.hidden_dim = 24;
+  config.gsg.num_heads = 2;
+  config.gsg.epochs = 10;
+  config.gsg.seed = seed + 1;
+  config.ldg.hidden_dim = 24;
+  config.ldg.epochs = 8;
+  config.ldg.seed = seed + 2;
+  config.gbdt.num_trees = 40;
+  config.gbdt.tree.max_leaves = 6;
+  config.gbdt.tree.min_samples_leaf = 3;
+  config.train_fraction = 0.55;
+  config.val_fraction = 0.25;
+  return config;
+}
+
+BaselineConfig DefaultBaselineConfig(uint64_t seed) {
+  BaselineConfig config;
+  config.hidden_dim = 24;
+  config.epochs = 6;
+  config.seed = seed;
+  return config;
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const Dbg4EthConfig& config, const eth::SubgraphDataset& dataset,
+    int num_folds, uint64_t seed) {
+  if (num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  if (dataset.num_graphs() < 2 * num_folds) {
+    return Status::InvalidArgument("dataset too small for the fold count");
+  }
+  Rng rng(seed);
+  const std::vector<int> labels = dataset.labels();
+  const std::vector<int> fold_of = ml::StratifiedFolds(labels, num_folds,
+                                                       &rng);
+
+  CrossValidationResult result;
+  std::vector<double> fold_f1;
+  for (int fold = 0; fold < num_folds; ++fold) {
+    ml::SplitIndices split;
+    std::vector<int> rest;
+    for (int i = 0; i < dataset.num_graphs(); ++i) {
+      (fold_of[i] == fold ? split.test : rest).push_back(i);
+    }
+    // Split the remainder into encoder-train and calibration/validation,
+    // stratified on the remainder's labels.
+    std::vector<int> rest_labels;
+    for (int i : rest) rest_labels.push_back(labels[i]);
+    const double val_share =
+        config.val_fraction / (config.train_fraction + config.val_fraction);
+    const ml::SplitIndices inner = ml::StratifiedSplit(
+        rest_labels, 1.0 - val_share - 1e-9, val_share, &rng);
+    for (int i : inner.train) split.train.push_back(rest[i]);
+    for (int i : inner.val) split.val.push_back(rest[i]);
+    for (int i : inner.test) split.val.push_back(rest[i]);  // remainder
+
+    eth::SubgraphDataset fold_dataset = dataset;  // Train mutates features
+    Dbg4EthConfig fold_config = config;
+    fold_config.seed = config.seed + fold;
+    Dbg4Eth model(fold_config);
+    DBG4ETH_RETURN_NOT_OK(model.Train(&fold_dataset, split));
+    EvaluationReport report = model.Evaluate(fold_dataset, split.test);
+    result.mean.precision += report.metrics.precision / num_folds;
+    result.mean.recall += report.metrics.recall / num_folds;
+    result.mean.f1 += report.metrics.f1 / num_folds;
+    result.mean.accuracy += report.metrics.accuracy / num_folds;
+    result.mean_auc += report.auc / num_folds;
+    fold_f1.push_back(report.metrics.f1);
+    result.folds.push_back(std::move(report));
+  }
+  result.f1_stddev = StdDev(fold_f1);
+  return result;
+}
+
+ExperimentWorkload::ExperimentWorkload(const ExperimentConfig& config)
+    : config_(config) {}
+
+Status ExperimentWorkload::EnsureLedger() {
+  if (ledger_) return Status::OK();
+  ledger_ = std::make_unique<eth::LedgerSimulator>(config_.ledger);
+  return ledger_->Generate();
+}
+
+int ExperimentWorkload::PositiveCap(eth::AccountClass target) const {
+  int base = 0;
+  switch (target) {
+    case eth::AccountClass::kExchange:
+      base = config_.positives_exchange;
+      break;
+    case eth::AccountClass::kIcoWallet:
+      base = config_.positives_ico_wallet;
+      break;
+    case eth::AccountClass::kMining:
+      base = config_.positives_mining;
+      break;
+    case eth::AccountClass::kPhishHack:
+      base = config_.positives_phish_hack;
+      break;
+    case eth::AccountClass::kBridge:
+      base = config_.positives_bridge;
+      break;
+    case eth::AccountClass::kDefi:
+      base = config_.positives_defi;
+      break;
+    case eth::AccountClass::kNormal:
+      base = 0;
+      break;
+  }
+  return std::max(6, static_cast<int>(base * config_.scale));
+}
+
+Result<eth::SubgraphDataset> ExperimentWorkload::BuildDataset(
+    eth::AccountClass target) {
+  DBG4ETH_RETURN_NOT_OK(EnsureLedger());
+  eth::DatasetConfig config;
+  config.target = target;
+  config.max_positives = PositiveCap(target);
+  config.sampling = config_.sampling;
+  config.num_time_slices = config_.num_time_slices;
+  config.seed = config_.seed + static_cast<uint64_t>(target);
+  return eth::BuildDataset(*ledger_, config);
+}
+
+std::vector<eth::AccountClass> ExperimentWorkload::MainClasses() {
+  return {eth::AccountClass::kExchange, eth::AccountClass::kIcoWallet,
+          eth::AccountClass::kMining, eth::AccountClass::kPhishHack};
+}
+
+std::vector<eth::AccountClass> ExperimentWorkload::NovelClasses() {
+  return {eth::AccountClass::kBridge, eth::AccountClass::kDefi};
+}
+
+}  // namespace core
+}  // namespace dbg4eth

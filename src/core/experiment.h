@@ -1,0 +1,95 @@
+#ifndef DBG4ETH_CORE_EXPERIMENT_H_
+#define DBG4ETH_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/baselines.h"
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+
+namespace dbg4eth {
+namespace core {
+
+/// \brief Shared workload setup of the benchmark harness.
+///
+/// The paper's dataset counts (Table II) are scaled down so the full bench
+/// suite reproduces every table/figure on one laptop core in minutes; set
+/// the DBG4ETH_SCALE environment variable (e.g. 0.5 or 2.0) to shrink or
+/// grow every dataset proportionally.
+struct ExperimentConfig {
+  eth::LedgerConfig ledger;
+  /// Positive-center caps per class, pre-scaling.
+  int positives_exchange = 48;
+  int positives_ico_wallet = 44;
+  int positives_mining = 36;
+  int positives_phish_hack = 56;
+  int positives_bridge = 36;
+  int positives_defi = 36;
+  graph::SamplingConfig sampling = {.hops = 2, .top_k = 7, .max_nodes = 72};
+  int num_time_slices = 8;
+  double scale = 1.0;  ///< Multiplies the positive caps.
+  uint64_t seed = 2024;
+};
+
+/// Default configuration with DBG4ETH_SCALE applied.
+ExperimentConfig DefaultExperimentConfig();
+
+/// \brief Result of k-fold cross-validation of one model configuration.
+struct CrossValidationResult {
+  std::vector<EvaluationReport> folds;
+  ml::BinaryMetrics mean;     ///< Averaged over folds.
+  double mean_auc = 0.0;
+  double f1_stddev = 0.0;     ///< Across folds — the headline stability number.
+};
+
+/// Stratified k-fold cross-validation: each fold serves once as the test
+/// set while the remainder is split into encoder-train and
+/// calibration/head-validation portions per `config`'s fractions. A fresh
+/// model is trained per fold on a copy of the dataset.
+Result<CrossValidationResult> CrossValidate(const Dbg4EthConfig& config,
+                                            const eth::SubgraphDataset& dataset,
+                                            int num_folds, uint64_t seed);
+
+/// Model hyperparameters shared by the bench harness (kept small for the
+/// single-core target; the library defaults support the paper's sizes).
+Dbg4EthConfig DefaultModelConfig(uint64_t seed = 7);
+BaselineConfig DefaultBaselineConfig(uint64_t seed = 11);
+
+/// \brief Lazily generated ledger + per-class datasets for the benches.
+class ExperimentWorkload {
+ public:
+  explicit ExperimentWorkload(
+      const ExperimentConfig& config = DefaultExperimentConfig());
+
+  ExperimentWorkload(const ExperimentWorkload&) = delete;
+  ExperimentWorkload& operator=(const ExperimentWorkload&) = delete;
+
+  /// Generates the ledger on first use.
+  Status EnsureLedger();
+
+  const eth::LedgerSimulator& ledger() const { return *ledger_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Builds (fresh each call — training standardizes in place) the binary
+  /// dataset of one account class.
+  Result<eth::SubgraphDataset> BuildDataset(eth::AccountClass target);
+
+  /// The four main evaluation classes of Table III.
+  static std::vector<eth::AccountClass> MainClasses();
+  /// The novel classes of Tables V/VI.
+  static std::vector<eth::AccountClass> NovelClasses();
+
+ private:
+  int PositiveCap(eth::AccountClass target) const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<eth::LedgerSimulator> ledger_;
+};
+
+}  // namespace core
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CORE_EXPERIMENT_H_

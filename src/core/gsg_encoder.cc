@@ -1,0 +1,157 @@
+#include "core/gsg_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "augment/contrastive.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace dbg4eth {
+namespace core {
+
+namespace {
+
+constexpr int kEdgeAggregateDim = 2;
+
+}  // namespace
+
+GsgEncoder::GsgEncoder(const GsgEncoderConfig& config)
+    : config_(config), rng_(config.seed) {
+  DBG4ETH_CHECK_GE(config.num_gat_layers, 1);
+  DBG4ETH_CHECK_EQ(config.hidden_dim % config.num_heads, 0);
+  const int per_head = config.hidden_dim / config.num_heads;
+  align_ = std::make_unique<gnn::Linear>(
+      config.node_feature_dim + kEdgeAggregateDim, config.hidden_dim, &rng_);
+  for (int l = 0; l < config.num_gat_layers; ++l) {
+    gat_layers_.push_back(std::make_unique<gnn::GatConv>(
+        config.hidden_dim, per_head, config.num_heads, &rng_));
+  }
+  readout_ = std::make_unique<gnn::GraphAttentionReadout>(config.hidden_dim,
+                                                          &rng_);
+  head_ = std::make_unique<gnn::Linear>(config.hidden_dim,
+                                        config.num_classes, &rng_);
+}
+
+Matrix GsgEncoder::BuildNodeInput(const graph::Graph& g) {
+  DBG4ETH_CHECK(!g.node_features.empty());
+  Matrix input(g.num_nodes, g.node_features.cols() + kEdgeAggregateDim);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int c = 0; c < g.node_features.cols(); ++c) {
+      input.At(v, c) = g.node_features.At(v, c);
+    }
+  }
+  // Incident-edge aggregates (Eq. 6's r_ij, pooled per node): log1p of the
+  // summed edge value and transaction count over all incident merged edges.
+  const int base = g.node_features.cols();
+  for (int m = 0; m < g.num_edges(); ++m) {
+    const graph::Edge& e = g.edges[m];
+    const double w =
+        g.edge_features.empty() ? 1.0 : g.edge_features.At(m, 0);
+    const double t = g.edge_features.cols() > 1 ? g.edge_features.At(m, 1)
+                                                : 1.0;
+    for (int endpoint : {e.src, e.dst}) {
+      input.At(endpoint, base + 0) += w;
+      input.At(endpoint, base + 1) += t;
+      if (e.src == e.dst) break;
+    }
+  }
+  for (int v = 0; v < g.num_nodes; ++v) {
+    input.At(v, base + 0) = std::log1p(std::max(0.0, input.At(v, base + 0)));
+    input.At(v, base + 1) = std::log1p(std::max(0.0, input.At(v, base + 1)));
+  }
+  return input;
+}
+
+ag::Tensor GsgEncoder::EmbedGraph(const graph::Graph& g, bool training,
+                                  Rng* rng) const {
+  const Matrix mask = g.AttentionMask();
+  ag::Tensor h = ag::Tensor::Constant(BuildNodeInput(g));
+  // Eq. 6: linear alignment + LeakyReLU.
+  h = ag::LeakyRelu(align_->Forward(h));
+  for (const auto& gat : gat_layers_) {
+    h = ag::Elu(gat->Forward(h, mask));
+    if (training && config_.dropout > 0.0) {
+      h = ag::Dropout(h, config_.dropout, rng, training);
+    }
+  }
+  return readout_->Forward(h);
+}
+
+ag::Tensor GsgEncoder::Logits(const ag::Tensor& embedding) const {
+  return head_->Forward(embedding);
+}
+
+double GsgEncoder::PredictScore(const graph::Graph& g) const {
+  const Matrix logits =
+      Logits(EmbedGraph(g, /*training=*/false, &rng_)).value();
+  return logits.At(0, 1) - logits.At(0, 0);
+}
+
+std::vector<ag::Tensor> GsgEncoder::Parameters() const {
+  std::vector<ag::Tensor> params = align_->Parameters();
+  for (const auto& gat : gat_layers_) {
+    for (const auto& p : gat->Parameters()) params.push_back(p);
+  }
+  for (const auto& p : readout_->Parameters()) params.push_back(p);
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
+                         const std::vector<int>& train_indices) {
+  if (train_indices.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+  ag::Adam opt(Parameters(), config_.learning_rate);
+  std::vector<int> order = train_indices;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      opt.ZeroGrad();
+      ag::Tensor total_loss;
+      std::vector<ag::Tensor> view1_embs, view2_embs;
+      int batch_count = 0;
+      for (size_t i = start; i < end; ++i) {
+        const eth::GraphInstance& inst = dataset.instances[order[i]];
+        ag::Tensor emb = EmbedGraph(inst.gsg, /*training=*/true, &rng_);
+        ag::Tensor loss =
+            ag::SoftmaxCrossEntropy(Logits(emb), {inst.label});
+        total_loss = batch_count == 0 ? loss : ag::Add(total_loss, loss);
+        ++batch_count;
+        if (config_.use_contrastive) {
+          const graph::Graph v1 =
+              augment::AugmentGraph(inst.gsg, config_.view1, &rng_);
+          const graph::Graph v2 =
+              augment::AugmentGraph(inst.gsg, config_.view2, &rng_);
+          view1_embs.push_back(EmbedGraph(v1, /*training=*/true, &rng_));
+          view2_embs.push_back(EmbedGraph(v2, /*training=*/true, &rng_));
+        }
+      }
+      if (batch_count == 0) continue;
+      total_loss = ag::ScalarMul(total_loss, 1.0 / batch_count);
+      // NT-Xent needs at least two graphs in the batch to have negatives.
+      if (config_.use_contrastive && view1_embs.size() >= 2) {
+        ag::Tensor z1 = ag::ConcatRowsList(view1_embs);
+        ag::Tensor z2 = ag::ConcatRowsList(view2_embs);
+        ag::Tensor contrastive =
+            augment::NtXentLoss(z1, z2, config_.temperature);
+        total_loss = ag::Add(
+            total_loss,
+            ag::ScalarMul(contrastive, config_.contrastive_weight));
+      }
+      total_loss.Backward();
+      opt.ClipGradNorm(config_.grad_clip);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace dbg4eth

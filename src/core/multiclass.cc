@@ -1,0 +1,92 @@
+#include "core/multiclass.h"
+
+#include "common/logging.h"
+#include "features/node_features.h"
+#include "graph/build.h"
+#include "graph/sampling.h"
+#include "ml/split.h"
+
+namespace dbg4eth {
+namespace core {
+
+MultiClassIdentifier::MultiClassIdentifier(const Config& config)
+    : config_(config) {
+  DBG4ETH_CHECK(!config.classes.empty());
+}
+
+Status MultiClassIdentifier::Train(const eth::Ledger& ledger) {
+  models_.clear();
+  for (size_t c = 0; c < config_.classes.size(); ++c) {
+    eth::DatasetConfig ds_config = config_.dataset;
+    ds_config.target = config_.classes[c];
+    ds_config.seed = config_.dataset.seed + c;
+    auto ds_result = eth::BuildDataset(ledger, ds_config);
+    if (!ds_result.ok()) {
+      models_.clear();
+      return ds_result.status();
+    }
+    eth::SubgraphDataset dataset = std::move(ds_result).ValueOrDie();
+
+    Dbg4EthConfig model_config = config_.model;
+    model_config.seed += c;
+    auto model = std::make_unique<Dbg4Eth>(model_config);
+    Rng rng(model_config.seed);
+    const ml::SplitIndices split = ml::StratifiedSplit(
+        dataset.labels(), model_config.train_fraction,
+        model_config.val_fraction, &rng);
+    Status st = model->Train(&dataset, split);
+    if (!st.ok()) {
+      models_.clear();
+      return st;
+    }
+    models_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MultiClassIdentifier::ClassProbabilities(
+    const eth::Ledger& ledger, eth::AccountId account) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("identifier has not been trained");
+  }
+  DBG4ETH_ASSIGN_OR_RETURN(
+      eth::TxSubgraph sub,
+      graph::SampleSubgraph(ledger, account, config_.dataset.sampling));
+  eth::GraphInstance base;
+  base.gsg = graph::BuildGlobalStaticGraph(sub);
+  base.ldg =
+      graph::BuildLocalDynamicGraphs(sub, config_.dataset.num_time_slices);
+  const Matrix feats =
+      features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
+  base.gsg.node_features = feats;
+  for (graph::Graph& slice : base.ldg) slice.node_features = feats;
+  base.subgraph = std::move(sub);
+
+  std::vector<double> probs;
+  probs.reserve(models_.size());
+  for (const auto& model : models_) {
+    eth::GraphInstance inst = base;  // each model has its own normalizer
+    model->Normalize(&inst);
+    probs.push_back(model->PredictProba(inst));
+  }
+  return probs;
+}
+
+Result<eth::AccountClass> MultiClassIdentifier::Identify(
+    const eth::Ledger& ledger, eth::AccountId account) const {
+  DBG4ETH_ASSIGN_OR_RETURN(std::vector<double> probs,
+                           ClassProbabilities(ledger, account));
+  int best = -1;
+  double best_p = config_.decision_threshold;
+  for (size_t c = 0; c < probs.size(); ++c) {
+    if (probs[c] >= best_p) {
+      best_p = probs[c];
+      best = static_cast<int>(c);
+    }
+  }
+  if (best < 0) return eth::AccountClass::kNormal;
+  return config_.classes[best];
+}
+
+}  // namespace core
+}  // namespace dbg4eth

@@ -1,0 +1,65 @@
+#ifndef DBG4ETH_CORE_MULTICLASS_H_
+#define DBG4ETH_CORE_MULTICLASS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger_base.h"
+
+namespace dbg4eth {
+namespace core {
+
+/// \brief One-vs-rest account identifier over multiple identity classes.
+///
+/// The paper evaluates one binary task per class; this wrapper composes
+/// them into the de-anonymization primitive a downstream user actually
+/// wants: "which class is this address?". One Dbg4Eth model is trained per
+/// class; Identify returns the argmax class, or kNormal when no model is
+/// confident.
+class MultiClassIdentifier {
+ public:
+  struct Config {
+    Dbg4EthConfig model;
+    std::vector<eth::AccountClass> classes = {
+        eth::AccountClass::kExchange,  eth::AccountClass::kIcoWallet,
+        eth::AccountClass::kMining,    eth::AccountClass::kPhishHack,
+        eth::AccountClass::kBridge,    eth::AccountClass::kDefi};
+    /// Minimum probability for a positive identification.
+    double decision_threshold = 0.5;
+    eth::DatasetConfig dataset;
+  };
+
+  explicit MultiClassIdentifier(const Config& config);
+
+  MultiClassIdentifier(const MultiClassIdentifier&) = delete;
+  MultiClassIdentifier& operator=(const MultiClassIdentifier&) = delete;
+
+  /// Builds one dataset and trains one binary model per configured class.
+  /// Classes whose dataset cannot be built (e.g. absent from the ledger)
+  /// fail the whole call.
+  Status Train(const eth::Ledger& ledger);
+
+  /// Per-class probability for an account, ordered like config().classes.
+  /// Samples and materializes the account's subgraph internally.
+  Result<std::vector<double>> ClassProbabilities(const eth::Ledger& ledger,
+                                                 eth::AccountId account) const;
+
+  /// Argmax identification; kNormal when every class probability is below
+  /// the decision threshold.
+  Result<eth::AccountClass> Identify(const eth::Ledger& ledger,
+                                     eth::AccountId account) const;
+
+  const Config& config() const { return config_; }
+  bool trained() const { return !models_.empty(); }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<Dbg4Eth>> models_;  ///< Parallel to classes.
+};
+
+}  // namespace core
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CORE_MULTICLASS_H_

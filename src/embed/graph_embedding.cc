@@ -1,0 +1,38 @@
+#include "embed/graph_embedding.h"
+
+#include "embed/random_walk.h"
+
+namespace dbg4eth {
+namespace embed {
+
+std::vector<double> GraphEmbedding(const graph::Graph& g,
+                                   const eth::TxSubgraph& subgraph,
+                                   const GraphEmbeddingConfig& config,
+                                   Rng* rng) {
+  std::vector<std::vector<int>> walks;
+  switch (config.kind) {
+    case WalkKind::kDeepWalk:
+      walks = UniformWalks(g, config.walks_per_node, config.walk_length, rng);
+      break;
+    case WalkKind::kNode2Vec:
+      walks = Node2VecWalks(g, config.walks_per_node, config.walk_length,
+                            config.p, config.q, rng);
+      break;
+    case WalkKind::kTrans2Vec:
+      walks = Trans2VecWalks(subgraph, config.walks_per_node,
+                             config.walk_length, config.alpha, rng);
+      break;
+  }
+  if (walks.empty()) {
+    return std::vector<double>(GraphEmbeddingDim(config), 0.0);
+  }
+  SkipGram model(g.num_nodes, config.skipgram, rng);
+  model.Train(walks, rng);
+  std::vector<double> out = MeanEmbedding(model.embeddings());
+  const std::vector<double> summary = EmbeddingSummary(model.embeddings());
+  out.insert(out.end(), summary.begin(), summary.end());
+  return out;
+}
+
+}  // namespace embed
+}  // namespace dbg4eth

@@ -1,0 +1,51 @@
+#ifndef DBG4ETH_EMBED_GRAPH_EMBEDDING_H_
+#define DBG4ETH_EMBED_GRAPH_EMBEDDING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/skipgram.h"
+#include "eth/types.h"
+#include "graph/graph.h"
+
+namespace dbg4eth {
+namespace embed {
+
+/// Which walk generator feeds the skip-gram learner.
+enum class WalkKind { kDeepWalk, kNode2Vec, kTrans2Vec };
+
+/// \brief Configuration of the graph-embedding baselines (paper Sec. V-A4:
+/// walk length 30, 200 walks, dimension 64, average pooling).
+struct GraphEmbeddingConfig {
+  WalkKind kind = WalkKind::kDeepWalk;
+  int walks_per_node = 8;
+  int walk_length = 30;
+  /// Node2Vec biases.
+  double p = 1.0;
+  double q = 1.0;
+  /// Trans2Vec amount-vs-recency balance.
+  double alpha = 0.5;
+  SkipGramConfig skipgram;
+};
+
+/// Learns node embeddings of one subgraph and returns the average-pooled
+/// graph embedding concatenated with the rotation-invariant summary of the
+/// embedding cloud (embedding_dim + 4 values; see EmbeddingSummary for why
+/// the plain mean is not comparable across independently trained spaces).
+/// For kTrans2Vec the walks are generated from the raw transaction
+/// subgraph (amount/timestamp biased); for the others from the merged
+/// static graph.
+std::vector<double> GraphEmbedding(const graph::Graph& g,
+                                   const eth::TxSubgraph& subgraph,
+                                   const GraphEmbeddingConfig& config,
+                                   Rng* rng);
+
+/// Dimension of the GraphEmbedding output.
+inline int GraphEmbeddingDim(const GraphEmbeddingConfig& config) {
+  return config.skipgram.embedding_dim + 4;
+}
+
+}  // namespace embed
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_EMBED_GRAPH_EMBEDDING_H_

@@ -1,0 +1,161 @@
+#include "embed/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace embed {
+
+namespace {
+
+std::vector<std::vector<int>> UndirectedNeighbors(const graph::Graph& g) {
+  std::vector<std::vector<int>> nbrs(g.num_nodes);
+  for (const graph::Edge& e : g.edges) {
+    nbrs[e.src].push_back(e.dst);
+    if (e.dst != e.src) nbrs[e.dst].push_back(e.src);
+  }
+  for (auto& v : nbrs) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> UniformWalks(const graph::Graph& g,
+                                           int walks_per_node,
+                                           int walk_length, Rng* rng) {
+  const auto nbrs = UndirectedNeighbors(g);
+  std::vector<std::vector<int>> walks;
+  for (int start = 0; start < g.num_nodes; ++start) {
+    if (nbrs[start].empty()) continue;
+    for (int w = 0; w < walks_per_node; ++w) {
+      std::vector<int> walk = {start};
+      int cur = start;
+      for (int s = 1; s < walk_length; ++s) {
+        const auto& options = nbrs[cur];
+        if (options.empty()) break;
+        cur = options[rng->UniformInt(static_cast<int>(options.size()))];
+        walk.push_back(cur);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int>> Node2VecWalks(const graph::Graph& g,
+                                            int walks_per_node,
+                                            int walk_length, double p,
+                                            double q, Rng* rng) {
+  DBG4ETH_CHECK_GT(p, 0.0);
+  DBG4ETH_CHECK_GT(q, 0.0);
+  const auto nbrs = UndirectedNeighbors(g);
+  // Fast membership test for the "distance 1 from prev" bias case.
+  std::vector<std::unordered_map<int, bool>> adj(g.num_nodes);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int u : nbrs[v]) adj[v][u] = true;
+  }
+
+  std::vector<std::vector<int>> walks;
+  std::vector<double> weights;
+  for (int start = 0; start < g.num_nodes; ++start) {
+    if (nbrs[start].empty()) continue;
+    for (int w = 0; w < walks_per_node; ++w) {
+      std::vector<int> walk = {start};
+      int prev = -1;
+      int cur = start;
+      for (int s = 1; s < walk_length; ++s) {
+        const auto& options = nbrs[cur];
+        if (options.empty()) break;
+        int next;
+        if (prev < 0) {
+          next = options[rng->UniformInt(static_cast<int>(options.size()))];
+        } else {
+          weights.assign(options.size(), 0.0);
+          for (size_t i = 0; i < options.size(); ++i) {
+            const int cand = options[i];
+            if (cand == prev) {
+              weights[i] = 1.0 / p;  // return
+            } else if (adj[prev].count(cand)) {
+              weights[i] = 1.0;  // distance 1: BFS-like
+            } else {
+              weights[i] = 1.0 / q;  // distance 2: DFS-like
+            }
+          }
+          next = options[rng->Categorical(weights)];
+        }
+        walk.push_back(next);
+        prev = cur;
+        cur = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int>> Trans2VecWalks(const eth::TxSubgraph& subgraph,
+                                             int walks_per_node,
+                                             int walk_length, double alpha,
+                                             Rng* rng) {
+  DBG4ETH_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  const int n = subgraph.num_nodes();
+  // Aggregate per undirected pair: total amount and latest timestamp.
+  struct PairStats {
+    double amount = 0.0;
+    double latest = 0.0;
+  };
+  std::vector<std::unordered_map<int, PairStats>> adj(n);
+  double t_min = 1e300, t_max = -1e300;
+  for (const auto& tx : subgraph.txs) {
+    t_min = std::min(t_min, tx.timestamp);
+    t_max = std::max(t_max, tx.timestamp);
+  }
+  const double span = std::max(t_max - t_min, 1e-9);
+  for (const auto& tx : subgraph.txs) {
+    const double recency = (tx.timestamp - t_min) / span;
+    auto update = [&](int a, int b) {
+      PairStats& st = adj[a][b];
+      st.amount += tx.value;
+      st.latest = std::max(st.latest, recency);
+    };
+    update(tx.src, tx.dst);
+    if (tx.src != tx.dst) update(tx.dst, tx.src);
+  }
+
+  std::vector<std::vector<int>> walks;
+  for (int start = 0; start < n; ++start) {
+    if (adj[start].empty()) continue;
+    for (int w = 0; w < walks_per_node; ++w) {
+      std::vector<int> walk = {start};
+      int cur = start;
+      for (int s = 1; s < walk_length; ++s) {
+        const auto& options = adj[cur];
+        if (options.empty()) break;
+        std::vector<int> cands;
+        std::vector<double> weights;
+        cands.reserve(options.size());
+        weights.reserve(options.size());
+        for (const auto& [peer, st] : options) {
+          cands.push_back(peer);
+          // amount^alpha * recency^(1-alpha); epsilon keeps stale edges
+          // reachable.
+          weights.push_back(std::pow(st.amount + 1e-9, alpha) *
+                            std::pow(st.latest + 1e-3, 1.0 - alpha));
+        }
+        cur = cands[rng->Categorical(weights)];
+        walk.push_back(cur);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace embed
+}  // namespace dbg4eth

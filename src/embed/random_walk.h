@@ -1,0 +1,39 @@
+#ifndef DBG4ETH_EMBED_RANDOM_WALK_H_
+#define DBG4ETH_EMBED_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "eth/types.h"
+#include "graph/graph.h"
+
+namespace dbg4eth {
+namespace embed {
+
+/// Uniform random walks over the undirected view of g (DeepWalk).
+/// Returns walks_per_node walks of length walk_length from every node that
+/// has at least one neighbor.
+std::vector<std::vector<int>> UniformWalks(const graph::Graph& g,
+                                           int walks_per_node,
+                                           int walk_length, Rng* rng);
+
+/// Node2Vec second-order biased walks with return parameter p and in-out
+/// parameter q.
+std::vector<std::vector<int>> Node2VecWalks(const graph::Graph& g,
+                                            int walks_per_node,
+                                            int walk_length, double p,
+                                            double q, Rng* rng);
+
+/// Trans2Vec-style walks over a transaction subgraph: the next hop is
+/// sampled proportionally to amount^alpha * recency^(1-alpha), where
+/// recency is the normalized timestamp of the most recent transaction on
+/// the edge (Wu et al.'s amount/timestamp biased walks).
+std::vector<std::vector<int>> Trans2VecWalks(const eth::TxSubgraph& subgraph,
+                                             int walks_per_node,
+                                             int walk_length, double alpha,
+                                             Rng* rng);
+
+}  // namespace embed
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_EMBED_RANDOM_WALK_H_

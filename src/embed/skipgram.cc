@@ -1,0 +1,118 @@
+#include "embed/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dbg4eth {
+namespace embed {
+
+SkipGram::SkipGram(int vocab_size, const SkipGramConfig& config, Rng* rng)
+    : vocab_size_(vocab_size), config_(config) {
+  DBG4ETH_CHECK_GT(vocab_size, 0);
+  const double bound = 0.5 / config.embedding_dim;
+  in_ = Matrix::Random(vocab_size, config.embedding_dim, rng, -bound, bound);
+  out_ = Matrix(vocab_size, config.embedding_dim);
+}
+
+void SkipGram::TrainPair(int center, int context, int label, double lr) {
+  const int dim = config_.embedding_dim;
+  double* v_in = in_.RowPtr(center);
+  double* v_out = out_.RowPtr(context);
+  double dot = 0.0;
+  for (int d = 0; d < dim; ++d) dot += v_in[d] * v_out[d];
+  const double grad = (Sigmoid(dot) - label) * lr;
+  for (int d = 0; d < dim; ++d) {
+    const double g_in = grad * v_out[d];
+    v_out[d] -= grad * v_in[d];
+    v_in[d] -= g_in;
+  }
+}
+
+void SkipGram::Train(const std::vector<std::vector<int>>& walks, Rng* rng) {
+  // Unigram^0.75 negative-sampling table.
+  std::vector<double> counts(vocab_size_, 0.0);
+  for (const auto& walk : walks) {
+    for (int node : walk) {
+      DBG4ETH_CHECK(node >= 0 && node < vocab_size_);
+      counts[node] += 1.0;
+    }
+  }
+  std::vector<double> noise(vocab_size_);
+  for (int i = 0; i < vocab_size_; ++i) noise[i] = std::pow(counts[i], 0.75);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double lr = config_.learning_rate *
+                      (1.0 - static_cast<double>(epoch) / config_.epochs);
+    for (const auto& walk : walks) {
+      const int len = static_cast<int>(walk.size());
+      for (int i = 0; i < len; ++i) {
+        const int lo = std::max(0, i - config_.window);
+        const int hi = std::min(len - 1, i + config_.window);
+        for (int j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          TrainPair(walk[i], walk[j], 1, lr);
+          for (int k = 0; k < config_.negatives; ++k) {
+            TrainPair(walk[i], rng->Categorical(noise), 0, lr);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> EmbeddingSummary(const Matrix& embeddings) {
+  const int n = embeddings.rows();
+  const int d = embeddings.cols();
+  std::vector<double> norms(n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < d; ++c) {
+      acc += embeddings.At(r, c) * embeddings.At(r, c);
+    }
+    norms[r] = std::sqrt(acc);
+  }
+  std::vector<double> out(4, 0.0);
+  if (n == 0) return out;
+  out[0] = Mean(norms);
+  out[1] = StdDev(norms);
+  // Pairwise cosine statistics over a bounded number of pairs.
+  double cos_sum = 0.0, cos_sq = 0.0;
+  int pairs = 0;
+  const int step = std::max(1, n / 24);
+  for (int a = 0; a < n; a += step) {
+    for (int b = a + step; b < n; b += step) {
+      if (norms[a] < 1e-12 || norms[b] < 1e-12) continue;
+      double dot = 0.0;
+      for (int c = 0; c < d; ++c) {
+        dot += embeddings.At(a, c) * embeddings.At(b, c);
+      }
+      const double cosine = dot / (norms[a] * norms[b]);
+      cos_sum += cosine;
+      cos_sq += cosine * cosine;
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    out[2] = cos_sum / pairs;
+    out[3] = std::sqrt(std::max(0.0, cos_sq / pairs - out[2] * out[2]));
+  }
+  return out;
+}
+
+std::vector<double> MeanEmbedding(const Matrix& embeddings) {
+  std::vector<double> mean(embeddings.cols(), 0.0);
+  if (embeddings.rows() == 0) return mean;
+  for (int r = 0; r < embeddings.rows(); ++r) {
+    for (int c = 0; c < embeddings.cols(); ++c) {
+      mean[c] += embeddings.At(r, c);
+    }
+  }
+  for (double& v : mean) v /= embeddings.rows();
+  return mean;
+}
+
+}  // namespace embed
+}  // namespace dbg4eth

@@ -1,0 +1,59 @@
+#ifndef DBG4ETH_EMBED_SKIPGRAM_H_
+#define DBG4ETH_EMBED_SKIPGRAM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace dbg4eth {
+namespace embed {
+
+/// \brief Skip-gram with negative sampling (Word2Vec): the embedding
+/// learner behind DeepWalk / Node2Vec / Trans2Vec.
+struct SkipGramConfig {
+  int embedding_dim = 64;
+  int window = 5;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  int epochs = 2;
+};
+
+class SkipGram {
+ public:
+  SkipGram(int vocab_size, const SkipGramConfig& config, Rng* rng);
+
+  /// One pass per epoch over all (center, context) pairs within the window,
+  /// with `negatives` noise samples per pair drawn from the unigram^0.75
+  /// distribution of the walks.
+  void Train(const std::vector<std::vector<int>>& walks, Rng* rng);
+
+  /// vocab_size x embedding_dim input embeddings.
+  const Matrix& embeddings() const { return in_; }
+
+  int vocab_size() const { return vocab_size_; }
+
+ private:
+  void TrainPair(int center, int context, int label, double lr);
+
+  int vocab_size_;
+  SkipGramConfig config_;
+  Matrix in_;
+  Matrix out_;
+};
+
+/// Mean of the embedding rows (graph-level representation used by the
+/// embedding baselines with average pooling).
+std::vector<double> MeanEmbedding(const Matrix& embeddings);
+
+/// Rotation-invariant summary of an embedding cloud: mean and standard
+/// deviation of row norms, and the mean and dispersion of pairwise cosine
+/// similarities. Skip-gram spaces trained on different graphs are random
+/// rotations of each other, so the plain mean embedding is not comparable
+/// across graphs; these four statistics are.
+std::vector<double> EmbeddingSummary(const Matrix& embeddings);
+
+}  // namespace embed
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_EMBED_SKIPGRAM_H_

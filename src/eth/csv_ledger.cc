@@ -1,0 +1,176 @@
+#include "eth/csv_ledger.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dbg4eth {
+namespace eth {
+
+namespace {
+
+constexpr char kTxHeader[] =
+    "from,to,value,timestamp,gas_price,gas_used,to_is_contract";
+constexpr char kLabelHeader[] = "address,label";
+
+Status ParseDouble(const std::string& field, int line, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("line %d: not a number: '%s'", line, field.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AccountId CsvLedger::Intern(const std::string& address, bool is_contract) {
+  auto it = by_address_.find(address);
+  if (it != by_address_.end()) {
+    // Upgrade EOA -> contract if any transaction marks it as a call target.
+    if (is_contract) {
+      accounts_[it->second].kind = AccountKind::kContract;
+    }
+    return it->second;
+  }
+  const AccountId id = static_cast<AccountId>(accounts_.size());
+  accounts_.push_back(Account{
+      id, is_contract ? AccountKind::kContract : AccountKind::kEoa,
+      AccountClass::kNormal});
+  addresses_.push_back(address);
+  by_address_[address] = id;
+  return id;
+}
+
+Result<std::unique_ptr<CsvLedger>> CsvLedger::FromCsv(std::istream* is) {
+  std::unique_ptr<CsvLedger> ledger(new CsvLedger());
+  std::string line;
+  if (!std::getline(*is, line) || Trim(line) != kTxHeader) {
+    return Status::InvalidArgument(
+        std::string("expected transaction CSV header: ") + kTxHeader);
+  }
+  int line_no = 1;
+  while (std::getline(*is, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    if (fields.size() != 7) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected 7 fields, got %zu", line_no,
+                    fields.size()));
+    }
+    Transaction tx;
+    DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[2], line_no, &tx.value));
+    DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[3], line_no, &tx.timestamp));
+    DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[4], line_no, &tx.gas_price));
+    DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[5], line_no, &tx.gas_used));
+    if (fields[6] != "0" && fields[6] != "1") {
+      return Status::InvalidArgument(
+          StrFormat("line %d: to_is_contract must be 0 or 1", line_no));
+    }
+    tx.is_contract_call = fields[6] == "1";
+    if (tx.value < 0 || tx.gas_price < 0 || tx.gas_used < 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: negative value/gas", line_no));
+    }
+    tx.from = ledger->Intern(Trim(fields[0]), /*is_contract=*/false);
+    tx.to = ledger->Intern(Trim(fields[1]), tx.is_contract_call);
+    ledger->transactions_.push_back(tx);
+  }
+  if (ledger->transactions_.empty()) {
+    return Status::InvalidArgument("transaction CSV contains no rows");
+  }
+  std::sort(ledger->transactions_.begin(), ledger->transactions_.end(),
+            [](const Transaction& a, const Transaction& b) {
+              return a.timestamp < b.timestamp;
+            });
+  ledger->tx_index_.assign(ledger->accounts_.size(), {});
+  for (int i = 0; i < static_cast<int>(ledger->transactions_.size()); ++i) {
+    const Transaction& tx = ledger->transactions_[i];
+    ledger->tx_index_[tx.from].push_back(i);
+    if (tx.to != tx.from) ledger->tx_index_[tx.to].push_back(i);
+  }
+  return ledger;
+}
+
+Result<int> CsvLedger::LoadLabels(std::istream* is) {
+  std::string line;
+  if (!std::getline(*is, line) || Trim(line) != kLabelHeader) {
+    return Status::InvalidArgument(
+        std::string("expected label CSV header: ") + kLabelHeader);
+  }
+  int applied = 0;
+  int line_no = 1;
+  while (std::getline(*is, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected 2 fields", line_no));
+    }
+    const AccountClass cls = AccountClassFromName(Trim(fields[1]));
+    if (cls == AccountClass::kNormal) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown label '%s'", line_no,
+                    fields[1].c_str()));
+    }
+    auto it = by_address_.find(Trim(fields[0]));
+    if (it == by_address_.end()) continue;  // outside the crawl window
+    accounts_[it->second].cls = cls;
+    ++applied;
+  }
+  return applied;
+}
+
+const std::vector<int>& CsvLedger::TransactionsOf(AccountId id) const {
+  DBG4ETH_CHECK(id >= 0 && id < static_cast<AccountId>(tx_index_.size()));
+  return tx_index_[id];
+}
+
+Result<AccountId> CsvLedger::Resolve(const std::string& address) const {
+  auto it = by_address_.find(address);
+  if (it == by_address_.end()) {
+    return Status::NotFound("unknown address: " + address);
+  }
+  return it->second;
+}
+
+const std::string& CsvLedger::AddressOf(AccountId id) const {
+  DBG4ETH_CHECK(id >= 0 && id < static_cast<AccountId>(addresses_.size()));
+  return addresses_[id];
+}
+
+void WriteTransactionsCsv(const Ledger& ledger, std::ostream* os) {
+  const auto* csv = dynamic_cast<const CsvLedger*>(&ledger);
+  *os << kTxHeader << "\n";
+  for (const Transaction& tx : ledger.transactions()) {
+    const std::string from =
+        csv ? csv->AddressOf(tx.from) : StrFormat("addr_%d", tx.from);
+    const std::string to =
+        csv ? csv->AddressOf(tx.to) : StrFormat("addr_%d", tx.to);
+    *os << from << "," << to << ","
+        << StrFormat("%.9g,%.9g,%.9g,%.9g,%d", tx.value, tx.timestamp,
+                     tx.gas_price, tx.gas_used, tx.is_contract_call ? 1 : 0)
+        << "\n";
+  }
+}
+
+void WriteLabelsCsv(const Ledger& ledger, std::ostream* os) {
+  const auto* csv = dynamic_cast<const CsvLedger*>(&ledger);
+  *os << kLabelHeader << "\n";
+  for (const Account& acc : ledger.accounts()) {
+    if (acc.cls == AccountClass::kNormal) continue;
+    const std::string address =
+        csv ? csv->AddressOf(acc.id) : StrFormat("addr_%d", acc.id);
+    *os << address << "," << AccountClassName(acc.cls) << "\n";
+  }
+}
+
+}  // namespace eth
+}  // namespace dbg4eth

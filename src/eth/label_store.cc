@@ -1,0 +1,36 @@
+#include "eth/label_store.h"
+
+#include <algorithm>
+
+namespace dbg4eth {
+namespace eth {
+
+void LabelStore::Add(AccountId id, AccountClass cls) { labels_[id] = cls; }
+
+std::optional<AccountClass> LabelStore::Lookup(AccountId id) const {
+  auto it = labels_.find(id);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<AccountId> LabelStore::LabeledAccounts(AccountClass cls) const {
+  std::vector<AccountId> out;
+  for (const auto& [id, c] : labels_) {
+    if (c == cls) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LabelStore LabelStore::BuildFromLedger(const Ledger& ledger,
+                                       double coverage, Rng* rng) {
+  LabelStore store;
+  for (const Account& acc : ledger.accounts()) {
+    if (acc.cls == AccountClass::kNormal) continue;
+    if (rng->Bernoulli(coverage)) store.Add(acc.id, acc.cls);
+  }
+  return store;
+}
+
+}  // namespace eth
+}  // namespace dbg4eth

@@ -1,0 +1,48 @@
+#ifndef DBG4ETH_ETH_LABEL_STORE_H_
+#define DBG4ETH_ETH_LABEL_STORE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "eth/ledger.h"
+#include "eth/types.h"
+
+namespace dbg4eth {
+namespace eth {
+
+/// \brief Labeled-account registry standing in for Etherscan Label Cloud /
+/// XLabelCloud.
+///
+/// The paper stresses label scarcity: only a fraction of accounts of each
+/// class carry a public label. BuildFromLedger subsamples the ground truth
+/// with the given coverage to reproduce that scarcity.
+class LabelStore {
+ public:
+  LabelStore() = default;
+
+  /// Registers a label; overwrites an existing one.
+  void Add(AccountId id, AccountClass cls);
+
+  /// Label of an account, if known.
+  std::optional<AccountClass> Lookup(AccountId id) const;
+
+  /// All labeled accounts of a class.
+  std::vector<AccountId> LabeledAccounts(AccountClass cls) const;
+
+  size_t size() const { return labels_.size(); }
+
+  /// Samples each non-normal ledger account into the store with
+  /// probability `coverage` (deterministic under `rng`).
+  static LabelStore BuildFromLedger(const Ledger& ledger,
+                                    double coverage, Rng* rng);
+
+ private:
+  std::unordered_map<AccountId, AccountClass> labels_;
+};
+
+}  // namespace eth
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_ETH_LABEL_STORE_H_

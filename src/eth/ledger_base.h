@@ -1,0 +1,47 @@
+#ifndef DBG4ETH_ETH_LEDGER_BASE_H_
+#define DBG4ETH_ETH_LEDGER_BASE_H_
+
+#include <vector>
+
+#include "eth/types.h"
+
+namespace dbg4eth {
+namespace eth {
+
+/// \brief Read interface of a transaction ledger: the data source the
+/// sampling / dataset pipeline consumes.
+///
+/// Implementations: LedgerSimulator (synthetic behavioural generator) and
+/// CsvLedger (transactions exported from a real chain, e.g. an Etherscan
+/// dump).
+class Ledger {
+ public:
+  virtual ~Ledger() = default;
+
+  virtual const std::vector<Account>& accounts() const = 0;
+
+  /// All transactions, sorted by timestamp.
+  virtual const std::vector<Transaction>& transactions() const = 0;
+
+  /// Indices (into transactions()) of every transaction where `id` is
+  /// sender or receiver, in timestamp order.
+  virtual const std::vector<int>& TransactionsOf(AccountId id) const = 0;
+
+  /// The block-reward source account, when the ledger has one; -1
+  /// otherwise. Excluded from negative sampling pools.
+  virtual AccountId coinbase_id() const { return -1; }
+
+  /// All account ids of the given class.
+  std::vector<AccountId> AccountsOfClass(AccountClass cls) const {
+    std::vector<AccountId> out;
+    for (const Account& acc : accounts()) {
+      if (acc.cls == cls) out.push_back(acc.id);
+    }
+    return out;
+  }
+};
+
+}  // namespace eth
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_ETH_LEDGER_BASE_H_

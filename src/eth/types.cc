@@ -1,0 +1,35 @@
+#include "eth/types.h"
+
+namespace dbg4eth {
+namespace eth {
+
+const char* AccountClassName(AccountClass cls) {
+  switch (cls) {
+    case AccountClass::kNormal:
+      return "normal";
+    case AccountClass::kExchange:
+      return "exchange";
+    case AccountClass::kIcoWallet:
+      return "ico-wallet";
+    case AccountClass::kMining:
+      return "mining";
+    case AccountClass::kPhishHack:
+      return "phish-hack";
+    case AccountClass::kBridge:
+      return "bridge";
+    case AccountClass::kDefi:
+      return "defi";
+  }
+  return "unknown";
+}
+
+AccountClass AccountClassFromName(const std::string& name) {
+  for (int i = 0; i < kNumAccountClasses; ++i) {
+    const auto cls = static_cast<AccountClass>(i);
+    if (name == AccountClassName(cls)) return cls;
+  }
+  return AccountClass::kNormal;
+}
+
+}  // namespace eth
+}  // namespace dbg4eth

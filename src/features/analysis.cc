@@ -1,0 +1,103 @@
+#include "features/analysis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dbg4eth {
+namespace features {
+
+Matrix FeatureCorrelationMatrix(const std::vector<const Matrix*>& features) {
+  DBG4ETH_CHECK(!features.empty());
+  const int dim = features.front()->cols();
+  // Flatten columns.
+  std::vector<std::vector<double>> cols(dim);
+  for (const Matrix* m : features) {
+    DBG4ETH_CHECK_EQ(m->cols(), dim);
+    for (int r = 0; r < m->rows(); ++r) {
+      for (int c = 0; c < dim; ++c) cols[c].push_back(m->At(r, c));
+    }
+  }
+  Matrix corr(dim, dim);
+  for (int i = 0; i < dim; ++i) {
+    corr.At(i, i) = 1.0;
+    for (int j = i + 1; j < dim; ++j) {
+      const double rho = PearsonCorrelation(cols[i], cols[j]);
+      corr.At(i, j) = rho;
+      corr.At(j, i) = rho;
+    }
+  }
+  return corr;
+}
+
+std::vector<CategoryFeatures> ComputeCategoryFeatures(
+    const std::vector<const Matrix*>& features) {
+  DBG4ETH_CHECK(!features.empty());
+  const int dim = features.front()->cols();
+  DBG4ETH_CHECK_EQ(dim, kFeatureDim);
+
+  int64_t total_rows = 0;
+  for (const Matrix* m : features) total_rows += m->rows();
+
+  // Per-dimension min-max over the population.
+  std::vector<double> min_v(dim, 1e300), max_v(dim, -1e300);
+  for (const Matrix* m : features) {
+    for (int r = 0; r < m->rows(); ++r) {
+      for (int c = 0; c < dim; ++c) {
+        min_v[c] = std::min(min_v[c], m->At(r, c));
+        max_v[c] = std::max(max_v[c], m->At(r, c));
+      }
+    }
+  }
+
+  auto norm_dim = [&](double v, int c) {
+    const double span = max_v[c] - min_v[c];
+    return span > 0.0 ? (v - min_v[c]) / span : 0.0;
+  };
+
+  std::vector<CategoryFeatures> out;
+  out.reserve(total_rows);
+  for (const Matrix* m : features) {
+    for (int r = 0; r < m->rows(); ++r) {
+      double sums[4] = {0, 0, 0, 0};
+      int counts[4] = {0, 0, 0, 0};
+      for (int c = 0; c < dim; ++c) {
+        const int cat = static_cast<int>(CategoryOf(c));
+        sums[cat] += norm_dim(m->At(r, c), c);
+        ++counts[cat];
+      }
+      CategoryFeatures cf;
+      cf.saf = sums[0] / counts[0];
+      cf.raf = sums[1] / counts[1];
+      cf.tff = sums[2] / counts[2];
+      cf.cf = sums[3] / counts[3];
+      out.push_back(cf);
+    }
+  }
+
+  // Second min-max pass over the four aggregates.
+  auto minmax_field = [&](auto getter, auto setter) {
+    double lo = 1e300, hi = -1e300;
+    for (const auto& cf : out) {
+      lo = std::min(lo, getter(cf));
+      hi = std::max(hi, getter(cf));
+    }
+    const double span = hi - lo;
+    for (auto& cf : out) {
+      setter(cf, span > 0.0 ? (getter(cf) - lo) / span : 0.0);
+    }
+  };
+  minmax_field([](const CategoryFeatures& c) { return c.saf; },
+               [](CategoryFeatures& c, double v) { c.saf = v; });
+  minmax_field([](const CategoryFeatures& c) { return c.raf; },
+               [](CategoryFeatures& c, double v) { c.raf = v; });
+  minmax_field([](const CategoryFeatures& c) { return c.tff; },
+               [](CategoryFeatures& c, double v) { c.tff = v; });
+  minmax_field([](const CategoryFeatures& c) { return c.cf; },
+               [](CategoryFeatures& c, double v) { c.cf = v; });
+  return out;
+}
+
+}  // namespace features
+}  // namespace dbg4eth

@@ -1,0 +1,36 @@
+#ifndef DBG4ETH_FEATURES_ANALYSIS_H_
+#define DBG4ETH_FEATURES_ANALYSIS_H_
+
+#include <vector>
+
+#include "features/node_features.h"
+#include "tensor/matrix.h"
+
+namespace dbg4eth {
+namespace features {
+
+/// Pearson correlation matrix (15 x 15) between the feature columns over
+/// all rows of the given matrices (paper Fig. 4).
+Matrix FeatureCorrelationMatrix(const std::vector<const Matrix*>& features);
+
+/// \brief Row of the paper's Fig. 5 scatter data: the four account category
+/// features of one node.
+struct CategoryFeatures {
+  double saf = 0.0;  ///< Sender account feature.
+  double raf = 0.0;  ///< Receiver account feature.
+  double tff = 0.0;  ///< Transaction fee feature.
+  double cf = 0.0;   ///< Contract feature.
+};
+
+/// Computes category features per node: each of the 15 dims is min-max
+/// normalized over the population, dims are averaged within their Table I
+/// category, and the four aggregates are min-max normalized again
+/// (Section V-B1). `features` rows from all graphs are treated as one
+/// population; the result is parallel to the concatenated rows.
+std::vector<CategoryFeatures> ComputeCategoryFeatures(
+    const std::vector<const Matrix*>& features);
+
+}  // namespace features
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_FEATURES_ANALYSIS_H_

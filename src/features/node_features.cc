@@ -1,0 +1,157 @@
+#include "features/node_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace features {
+
+namespace {
+
+constexpr double kWeiPerEth = 1e18;
+
+}  // namespace
+
+const std::array<std::string, kFeatureDim>& FeatureNames() {
+  static const std::array<std::string, kFeatureDim> kNames = {
+      "NTS",     "STV",   "SAV",   "min_STI", "max_STI",
+      "NTR",     "RTV",   "RAV",   "min_RTI", "max_RTI",
+      "SETF",    "RETF",  "SAETF", "RAETF",   "NC"};
+  return kNames;
+}
+
+FeatureCategory CategoryOf(int feature_index) {
+  DBG4ETH_CHECK(feature_index >= 0 && feature_index < kFeatureDim);
+  if (feature_index <= kMaxSti) return FeatureCategory::kSender;
+  if (feature_index <= kMaxRti) return FeatureCategory::kReceiver;
+  if (feature_index <= kRaetf) return FeatureCategory::kFee;
+  return FeatureCategory::kContract;
+}
+
+Matrix ComputeNodeFeatures(const eth::TxSubgraph& subgraph) {
+  const int n = subgraph.num_nodes();
+  Matrix f(n, kFeatureDim);
+  // Transactions are sorted by timestamp, so per-node send/receive
+  // timestamp sequences collected in order are already sorted.
+  std::vector<std::vector<double>> send_times(n);
+  std::vector<std::vector<double>> recv_times(n);
+
+  for (const eth::LocalTransaction& tx : subgraph.txs) {
+    const double fee = tx.gas_price * tx.gas_used / kWeiPerEth;
+    // Sender side.
+    f.At(tx.src, kNts) += 1.0;
+    f.At(tx.src, kStv) += tx.value;
+    f.At(tx.src, kSetf) += fee;
+    send_times[tx.src].push_back(tx.timestamp);
+    // Receiver side.
+    f.At(tx.dst, kNtr) += 1.0;
+    f.At(tx.dst, kRtv) += tx.value;
+    f.At(tx.dst, kRetf) += fee;
+    recv_times[tx.dst].push_back(tx.timestamp);
+    // Contract feature: contract calls involving either endpoint.
+    if (tx.is_contract_call) {
+      f.At(tx.src, kNc) += 1.0;
+      if (tx.dst != tx.src) f.At(tx.dst, kNc) += 1.0;
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const double nts = f.At(i, kNts);
+    const double ntr = f.At(i, kNtr);
+    if (nts > 0) {
+      f.At(i, kSav) = f.At(i, kStv) / nts;
+      f.At(i, kSaetf) = f.At(i, kSetf) / nts;
+    }
+    if (ntr > 0) {
+      f.At(i, kRav) = f.At(i, kRtv) / ntr;
+      f.At(i, kRaetf) = f.At(i, kRetf) / ntr;
+    }
+    auto intervals = [](const std::vector<double>& times, double* min_out,
+                        double* max_out) {
+      if (times.size() < 2) return;
+      double min_v = times[1] - times[0];
+      double max_v = min_v;
+      for (size_t k = 1; k + 1 < times.size(); ++k) {
+        const double d = times[k + 1] - times[k];
+        min_v = std::min(min_v, d);
+        max_v = std::max(max_v, d);
+      }
+      *min_out = std::fabs(min_v);
+      *max_out = std::fabs(max_v);
+    };
+    double min_sti = 0.0, max_sti = 0.0, min_rti = 0.0, max_rti = 0.0;
+    intervals(send_times[i], &min_sti, &max_sti);
+    intervals(recv_times[i], &min_rti, &max_rti);
+    f.At(i, kMinSti) = min_sti;
+    f.At(i, kMaxSti) = max_sti;
+    f.At(i, kMinRti) = min_rti;
+    f.At(i, kMaxRti) = max_rti;
+  }
+  return f;
+}
+
+Matrix LogScaleFeatures(const Matrix& features) {
+  Matrix out = features;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out.At(r, c) = std::log1p(std::max(0.0, out.At(r, c)));
+    }
+  }
+  return out;
+}
+
+void FeatureNormalizer::Fit(
+    const std::vector<const Matrix*>& feature_matrices) {
+  DBG4ETH_CHECK(!feature_matrices.empty());
+  const int dim = feature_matrices.front()->cols();
+  means_.assign(dim, 0.0);
+  stds_.assign(dim, 0.0);
+  int64_t total_rows = 0;
+  for (const Matrix* m : feature_matrices) {
+    DBG4ETH_CHECK_EQ(m->cols(), dim);
+    total_rows += m->rows();
+    for (int r = 0; r < m->rows(); ++r) {
+      for (int c = 0; c < dim; ++c) means_[c] += m->At(r, c);
+    }
+  }
+  DBG4ETH_CHECK_GT(total_rows, 0);
+  for (int c = 0; c < dim; ++c) means_[c] /= static_cast<double>(total_rows);
+  for (const Matrix* m : feature_matrices) {
+    for (int r = 0; r < m->rows(); ++r) {
+      for (int c = 0; c < dim; ++c) {
+        const double d = m->At(r, c) - means_[c];
+        stds_[c] += d * d;
+      }
+    }
+  }
+  for (int c = 0; c < dim; ++c) {
+    stds_[c] = std::sqrt(stds_[c] / static_cast<double>(total_rows));
+  }
+  fitted_ = true;
+}
+
+void FeatureNormalizer::Restore(std::vector<double> means,
+                                std::vector<double> stds) {
+  DBG4ETH_CHECK_EQ(means.size(), stds.size());
+  means_ = std::move(means);
+  stds_ = std::move(stds);
+  fitted_ = true;
+}
+
+Matrix FeatureNormalizer::Apply(const Matrix& features) const {
+  DBG4ETH_CHECK(fitted_);
+  DBG4ETH_CHECK_EQ(features.cols(), static_cast<int>(means_.size()));
+  Matrix out = features;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out.At(r, c) -= means_[c];
+      if (stds_[c] > 1e-12) out.At(r, c) /= stds_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace features
+}  // namespace dbg4eth

@@ -1,0 +1,83 @@
+#ifndef DBG4ETH_FEATURES_NODE_FEATURES_H_
+#define DBG4ETH_FEATURES_NODE_FEATURES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "eth/types.h"
+#include "tensor/matrix.h"
+
+namespace dbg4eth {
+namespace features {
+
+/// Indices of the 15-dimensional deep account features (paper Table I).
+enum FeatureIndex {
+  kNts = 0,     ///< Number of transactions sent.
+  kStv,         ///< Send total value.
+  kSav,         ///< Send average value.
+  kMinSti,      ///< Minimum send time interval (Eq. 4).
+  kMaxSti,      ///< Maximum send time interval (Eq. 3).
+  kNtr,         ///< Number of transactions received.
+  kRtv,         ///< Receive total value.
+  kRav,         ///< Receive average value.
+  kMinRti,      ///< Minimum receive time interval.
+  kMaxRti,      ///< Maximum receive time interval.
+  kSetf,        ///< Send Ether transaction fee (Eq. 5).
+  kRetf,        ///< Receive Ether transaction fee.
+  kSaetf,       ///< Send average Ether transaction fee.
+  kRaetf,       ///< Receive average Ether transaction fee.
+  kNc,          ///< Number of contract calls involving the account.
+  kNumFeatures  // = 15
+};
+
+inline constexpr int kFeatureDim = kNumFeatures;
+
+/// Abbreviated names in Table I order ("NTS", "STV", ...).
+const std::array<std::string, kFeatureDim>& FeatureNames();
+
+/// Four feature categories of Table I.
+enum class FeatureCategory { kSender, kReceiver, kFee, kContract };
+
+/// Category of each feature index.
+FeatureCategory CategoryOf(int feature_index);
+
+/// Computes the 15-dimensional deep features for every node of a subgraph
+/// from its retained transactions (Section III-B2). Returns an
+/// n x 15 matrix in FeatureIndex order. Accounts with fewer than two
+/// sends/receives get zero time-interval features.
+Matrix ComputeNodeFeatures(const eth::TxSubgraph& subgraph);
+
+/// log1p on every entry: all 15 features are non-negative magnitudes with
+/// heavy tails, so this is the standard variance-stabilizing transform
+/// applied before dataset-level standardization.
+Matrix LogScaleFeatures(const Matrix& features);
+
+/// \brief Dataset-level per-dimension standardizer (z-score), fitted on the
+/// training split and applied to all splits.
+class FeatureNormalizer {
+ public:
+  /// Fits mean/std per column over the rows of all matrices.
+  void Fit(const std::vector<const Matrix*>& feature_matrices);
+
+  /// (x - mean) / std per column; columns with zero variance pass through
+  /// centered only.
+  Matrix Apply(const Matrix& features) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+  /// Restores a previously fitted state (checkpoint loading).
+  void Restore(std::vector<double> means, std::vector<double> stds);
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace features
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_FEATURES_NODE_FEATURES_H_

@@ -1,0 +1,48 @@
+#include "gnn/gru.h"
+
+#include "common/logging.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace gnn {
+
+GruCell::GruCell(int feature_dim, Rng* rng) : dim_(feature_dim) {
+  DBG4ETH_CHECK_GT(feature_dim, 0);
+  auto make = [&] {
+    return ag::Tensor::Parameter(
+        ag::XavierUniform(feature_dim, feature_dim, rng));
+  };
+  w_update_ = make();
+  v_update_ = make();
+  w_reset_ = make();
+  v_reset_ = make();
+  w_cand_ = make();
+  v_cand_ = make();
+  b_update_ = ag::Tensor::Parameter(Matrix(1, feature_dim));
+  b_reset_ = ag::Tensor::Parameter(Matrix(1, feature_dim));
+  b_cand_ = ag::Tensor::Parameter(Matrix(1, feature_dim));
+}
+
+ag::Tensor GruCell::Forward(const ag::Tensor& u_t,
+                            const ag::Tensor& h_prev) const {
+  using namespace ag;  // NOLINT(build/namespaces): local op readability.
+  Tensor update = Sigmoid(AddRowBroadcast(
+      Add(MatMul(u_t, w_update_), MatMul(h_prev, v_update_)), b_update_));
+  Tensor reset = Sigmoid(AddRowBroadcast(
+      Add(MatMul(u_t, w_reset_), MatMul(h_prev, v_reset_)), b_reset_));
+  Tensor candidate = Tanh(AddRowBroadcast(
+      Add(MatMul(u_t, w_cand_), MatMul(Mul(reset, h_prev), v_cand_)),
+      b_cand_));
+  // h_t = (1 - u) ⊙ h_prev + u ⊙ candidate.
+  Tensor one_minus = ScalarAdd(ScalarMul(update, -1.0), 1.0);
+  return Add(Mul(one_minus, h_prev), Mul(update, candidate));
+}
+
+std::vector<ag::Tensor> GruCell::Parameters() const {
+  return {w_update_, v_update_, w_reset_, v_reset_, w_cand_,
+          v_cand_,   b_update_, b_reset_, b_cand_};
+}
+
+}  // namespace gnn
+}  // namespace dbg4eth

@@ -1,0 +1,43 @@
+#ifndef DBG4ETH_GNN_GRU_H_
+#define DBG4ETH_GNN_GRU_H_
+
+#include <vector>
+
+#include "gnn/module.h"
+
+namespace dbg4eth {
+
+class Rng;
+
+namespace gnn {
+
+/// \brief Gated recurrent unit over node-feature matrices (paper Eq. 15-18).
+///
+/// Inputs are the topological features U_t (N x d) of the current time slice
+/// and the evolutionary features h_{t-1} (N x d); output is h_t:
+///   u_t  = sigmoid(U_t W_u + h_{t-1} V_u)
+///   r_t  = sigmoid(U_t W_r + h_{t-1} V_r)
+///   h~_t = tanh(U_t W + (r_t ⊙ h_{t-1}) V)
+///   h_t  = (1 - u_t) ⊙ h_{t-1} + u_t ⊙ h~_t
+class GruCell : public Module {
+ public:
+  GruCell(int feature_dim, Rng* rng);
+
+  ag::Tensor Forward(const ag::Tensor& u_t, const ag::Tensor& h_prev) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+  int feature_dim() const { return dim_; }
+
+ private:
+  int dim_;
+  ag::Tensor w_update_, v_update_;
+  ag::Tensor w_reset_, v_reset_;
+  ag::Tensor w_cand_, v_cand_;
+  ag::Tensor b_update_, b_reset_, b_cand_;  ///< 1 x d biases.
+};
+
+}  // namespace gnn
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GNN_GRU_H_

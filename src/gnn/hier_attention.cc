@@ -1,0 +1,35 @@
+#include "gnn/hier_attention.h"
+
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace gnn {
+
+GraphAttentionReadout::GraphAttentionReadout(int feature_dim, Rng* rng)
+    : score_(2 * feature_dim, 1, rng), project_(feature_dim, feature_dim, rng) {}
+
+ag::Tensor GraphAttentionReadout::Forward(const ag::Tensor& h) const {
+  using namespace ag;  // NOLINT(build/namespaces): local op readability.
+  const int n = h.rows();
+  // Initial subgraph representation via global max pooling (Eq. 10).
+  Tensor c = MaxPoolRows(h);  // 1 x d
+  // Node scores s_j = LeakyReLU(Θ_s [c || H_j]) (Eq. 11) and the summary's
+  // self-score s_c from [c || c].
+  Tensor node_scores =
+      LeakyRelu(score_.Forward(ConcatCols(BroadcastRow(c, n), h)));
+  Tensor self_score = LeakyRelu(score_.Forward(ConcatCols(c, c)));
+  Tensor all_scores = ConcatRows(self_score, node_scores);  // (n+1) x 1
+  // beta = softmax over {c} ∪ V_i (Eq. 12).
+  Tensor beta = SoftmaxColVector(all_scores);
+  // g = Elu(beta^T [c ; H] Θ_g) (Eq. 13).
+  Tensor stacked = ConcatRows(c, h);                    // (n+1) x d
+  Tensor weighted = MatMul(Transpose(beta), stacked);   // 1 x d
+  return Elu(project_.Forward(weighted));
+}
+
+std::vector<ag::Tensor> GraphAttentionReadout::Parameters() const {
+  return JoinParameters({&score_, &project_});
+}
+
+}  // namespace gnn
+}  // namespace dbg4eth

@@ -1,0 +1,39 @@
+#ifndef DBG4ETH_GNN_HIER_ATTENTION_H_
+#define DBG4ETH_GNN_HIER_ATTENTION_H_
+
+#include <vector>
+
+#include "gnn/linear.h"
+#include "gnn/module.h"
+
+namespace dbg4eth {
+
+class Rng;
+
+namespace gnn {
+
+/// \brief Graph-level attention readout of the hierarchical attention
+/// network (paper Eq. 10-13).
+///
+/// The initial summary c = MaxPool(H) attends, together with every node,
+/// over the linear score Θ_s [c || H_j]; attention weights beta combine the
+/// projected rows into the subgraph embedding
+///   g = Elu(beta_c Θ_g c + sum_j beta_j Θ_g H_j).
+class GraphAttentionReadout : public Module {
+ public:
+  GraphAttentionReadout(int feature_dim, Rng* rng);
+
+  /// H: N x d node embeddings -> 1 x d graph embedding.
+  ag::Tensor Forward(const ag::Tensor& h) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+ private:
+  Linear score_;    ///< Θ_s: 2d -> 1.
+  Linear project_;  ///< Θ_g: d -> d.
+};
+
+}  // namespace gnn
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GNN_HIER_ATTENTION_H_

@@ -1,0 +1,35 @@
+#include "gnn/linear.h"
+
+#include "common/logging.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace gnn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  DBG4ETH_CHECK_GT(in_features, 0);
+  DBG4ETH_CHECK_GT(out_features, 0);
+  weight_ =
+      ag::Tensor::Parameter(ag::XavierUniform(in_features, out_features, rng));
+  if (has_bias_) {
+    bias_ = ag::Tensor::Parameter(Matrix(1, out_features));
+  }
+}
+
+ag::Tensor Linear::Forward(const ag::Tensor& x) const {
+  ag::Tensor out = ag::MatMul(x, weight_);
+  if (has_bias_) out = ag::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+std::vector<ag::Tensor> Linear::Parameters() const {
+  if (has_bias_) return {weight_, bias_};
+  return {weight_};
+}
+
+}  // namespace gnn
+}  // namespace dbg4eth

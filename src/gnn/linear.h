@@ -1,0 +1,38 @@
+#ifndef DBG4ETH_GNN_LINEAR_H_
+#define DBG4ETH_GNN_LINEAR_H_
+
+#include <vector>
+
+#include "gnn/module.h"
+
+namespace dbg4eth {
+
+class Rng;
+
+namespace gnn {
+
+/// \brief Affine layer y = x W + b with Xavier-initialized weights.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  /// x: N x in -> N x out.
+  ag::Tensor Forward(const ag::Tensor& x) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool has_bias_;
+  ag::Tensor weight_;  ///< in x out.
+  ag::Tensor bias_;    ///< 1 x out.
+};
+
+}  // namespace gnn
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GNN_LINEAR_H_

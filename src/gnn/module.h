@@ -1,0 +1,46 @@
+#ifndef DBG4ETH_GNN_MODULE_H_
+#define DBG4ETH_GNN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+namespace gnn {
+
+/// \brief Base class for neural network building blocks.
+///
+/// Parameters are ag::Tensor handles shared with the optimizer; copying a
+/// module shares (does not clone) its parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (recursively).
+  virtual std::vector<ag::Tensor> Parameters() const = 0;
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const ag::Tensor& p : Parameters()) {
+      total += static_cast<int64_t>(p.value().size());
+    }
+    return total;
+  }
+};
+
+/// Concatenates the parameter lists of several modules.
+inline std::vector<ag::Tensor> JoinParameters(
+    std::initializer_list<const Module*> modules) {
+  std::vector<ag::Tensor> all;
+  for (const Module* m : modules) {
+    auto params = m->Parameters();
+    all.insert(all.end(), params.begin(), params.end());
+  }
+  return all;
+}
+
+}  // namespace gnn
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GNN_MODULE_H_

@@ -1,0 +1,146 @@
+#include "gnn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace gnn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int model_dim, int num_heads,
+                                               Rng* rng)
+    : num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      output_(model_dim, model_dim, rng) {
+  DBG4ETH_CHECK_GT(num_heads, 0);
+  DBG4ETH_CHECK_EQ(model_dim % num_heads, 0);
+  for (int h = 0; h < num_heads; ++h) {
+    query_.emplace_back(model_dim, head_dim_, rng, /*bias=*/false);
+    key_.emplace_back(model_dim, head_dim_, rng, /*bias=*/false);
+    value_.emplace_back(model_dim, head_dim_, rng, /*bias=*/false);
+  }
+}
+
+ag::Tensor MultiHeadSelfAttention::Forward(const ag::Tensor& x,
+                                           const Matrix* attn_bias) const {
+  using namespace ag;  // NOLINT(build/namespaces): local op readability.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  Tensor concat;
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor q = query_[h].Forward(x);
+    Tensor k = key_[h].Forward(x);
+    Tensor v = value_[h].Forward(x);
+    Tensor scores = ScalarMul(MatMul(q, Transpose(k)), scale);
+    if (attn_bias != nullptr) {
+      scores = Add(scores, Tensor::Constant(*attn_bias));
+    }
+    Tensor head = MatMul(SoftmaxRows(scores), v);
+    concat = h == 0 ? head : ConcatCols(concat, head);
+  }
+  return output_.Forward(concat);
+}
+
+std::vector<ag::Tensor> MultiHeadSelfAttention::Parameters() const {
+  std::vector<ag::Tensor> params = output_.Parameters();
+  for (int h = 0; h < num_heads_; ++h) {
+    for (const auto& p : query_[h].Parameters()) params.push_back(p);
+    for (const auto& p : key_[h].Parameters()) params.push_back(p);
+    for (const auto& p : value_[h].Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+TransformerBlock::TransformerBlock(int model_dim, int num_heads, int ffn_dim,
+                                   Rng* rng)
+    : attention_(model_dim, num_heads, rng),
+      ffn1_(model_dim, ffn_dim, rng),
+      ffn2_(ffn_dim, model_dim, rng) {}
+
+ag::Tensor TransformerBlock::Forward(const ag::Tensor& x,
+                                     const Matrix* attn_bias) const {
+  ag::Tensor attended = ag::Add(x, attention_.Forward(x, attn_bias));
+  ag::Tensor ffn_out = ffn2_.Forward(ag::Relu(ffn1_.Forward(attended)));
+  return ag::Add(attended, ffn_out);
+}
+
+std::vector<ag::Tensor> TransformerBlock::Parameters() const {
+  return JoinParameters({&attention_, &ffn1_, &ffn2_});
+}
+
+SequenceEncoder::SequenceEncoder(int input_dim, int model_dim, int num_blocks,
+                                 int num_heads, int num_classes, Rng* rng)
+    : embed_(input_dim, model_dim, rng), head_(model_dim, num_classes, rng) {
+  for (int b = 0; b < num_blocks; ++b) {
+    blocks_.emplace_back(model_dim, num_heads, 2 * model_dim, rng);
+  }
+}
+
+ag::Tensor SequenceEncoder::Forward(const ag::Tensor& seq) const {
+  ag::Tensor h = ag::Tanh(embed_.Forward(seq));
+  for (const TransformerBlock& block : blocks_) {
+    h = block.Forward(h, nullptr);
+  }
+  return head_.Forward(ag::MeanPoolRows(h));
+}
+
+std::vector<ag::Tensor> SequenceEncoder::Parameters() const {
+  std::vector<ag::Tensor> params = JoinParameters({&embed_, &head_});
+  for (const TransformerBlock& block : blocks_) {
+    for (const auto& p : block.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+GraphTransformer::GraphTransformer(int input_dim, int model_dim,
+                                   int num_blocks, int num_heads,
+                                   int num_classes, Rng* rng)
+    : embed_(input_dim, model_dim, rng), head_(model_dim, num_classes, rng) {
+  for (int b = 0; b < num_blocks; ++b) {
+    blocks_.emplace_back(model_dim, num_heads, 2 * model_dim, rng);
+  }
+}
+
+Matrix GraphTransformer::StructuralBias(const Matrix& adjacency) {
+  const int n = adjacency.rows();
+  Matrix bias(n, n);
+  std::vector<double> degree(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) degree[i] += adjacency.At(i, j);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Connected pairs get an attention bonus; the diagonal carries the
+      // node's log-degree (a cheap stand-in for GRIT's degree encoding).
+      if (i == j) {
+        bias.At(i, j) = std::log1p(degree[i]);
+      } else if (adjacency.At(i, j) != 0.0) {
+        bias.At(i, j) = 1.0;
+      } else {
+        bias.At(i, j) = -1.0;
+      }
+    }
+  }
+  return bias;
+}
+
+ag::Tensor GraphTransformer::Forward(const ag::Tensor& x,
+                                     const Matrix& adjacency) const {
+  const Matrix bias = StructuralBias(adjacency);
+  ag::Tensor h = ag::Tanh(embed_.Forward(x));
+  for (const TransformerBlock& block : blocks_) {
+    h = block.Forward(h, &bias);
+  }
+  return head_.Forward(ag::MeanPoolRows(h));
+}
+
+std::vector<ag::Tensor> GraphTransformer::Parameters() const {
+  std::vector<ag::Tensor> params = JoinParameters({&embed_, &head_});
+  for (const TransformerBlock& block : blocks_) {
+    for (const auto& p : block.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace gnn
+}  // namespace dbg4eth

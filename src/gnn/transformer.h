@@ -1,0 +1,99 @@
+#ifndef DBG4ETH_GNN_TRANSFORMER_H_
+#define DBG4ETH_GNN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gnn/linear.h"
+#include "gnn/module.h"
+
+namespace dbg4eth {
+
+class Rng;
+
+namespace gnn {
+
+/// \brief Multi-head self-attention layer with an optional additive
+/// attention bias (used as the structural bias of the graph transformer).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int model_dim, int num_heads, Rng* rng);
+
+  /// x: N x d. `attn_bias` (N x N), when non-null, is added to the raw
+  /// attention scores of every head before the softmax.
+  ag::Tensor Forward(const ag::Tensor& x, const Matrix* attn_bias) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+ private:
+  int num_heads_;
+  int head_dim_;
+  std::vector<Linear> query_;
+  std::vector<Linear> key_;
+  std::vector<Linear> value_;
+  Linear output_;
+};
+
+/// \brief Pre-activation transformer block: x + MHSA(x), then x + FFN(x).
+/// Small-model stand-in without layer norm (depth <= 2 in all experiments).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int model_dim, int num_heads, int ffn_dim, Rng* rng);
+
+  ag::Tensor Forward(const ag::Tensor& x, const Matrix* attn_bias) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  Linear ffn1_;
+  Linear ffn2_;
+};
+
+/// \brief Transaction-sequence encoder (BERT4ETH stand-in): embeds a
+/// sequence of per-transaction feature rows, applies transformer blocks,
+/// mean-pools and classifies.
+class SequenceEncoder : public Module {
+ public:
+  SequenceEncoder(int input_dim, int model_dim, int num_blocks, int num_heads,
+                  int num_classes, Rng* rng);
+
+  /// seq: L x input_dim -> 1 x num_classes logits.
+  ag::Tensor Forward(const ag::Tensor& seq) const;
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+ private:
+  Linear embed_;
+  std::vector<TransformerBlock> blocks_;
+  Linear head_;
+};
+
+/// \brief Graph transformer (GRIT stand-in): node features plus a
+/// structural attention bias derived from the adjacency (log-degree on the
+/// diagonal, connectivity bonus off-diagonal) replace explicit message
+/// passing.
+class GraphTransformer : public Module {
+ public:
+  GraphTransformer(int input_dim, int model_dim, int num_blocks,
+                   int num_heads, int num_classes, Rng* rng);
+
+  /// x: N x input_dim, adjacency: plain symmetric adjacency (no self
+  /// loops). Returns 1 x num_classes logits.
+  ag::Tensor Forward(const ag::Tensor& x, const Matrix& adjacency) const;
+
+  /// The structural bias matrix used by Forward.
+  static Matrix StructuralBias(const Matrix& adjacency);
+
+  std::vector<ag::Tensor> Parameters() const override;
+
+ private:
+  Linear embed_;
+  std::vector<TransformerBlock> blocks_;
+  Linear head_;
+};
+
+}  // namespace gnn
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GNN_TRANSFORMER_H_

@@ -1,0 +1,94 @@
+#include "graph/build.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace graph {
+
+namespace {
+
+struct MergedEdge {
+  double total_value = 0.0;
+  int count = 0;
+};
+
+}  // namespace
+
+Graph BuildGlobalStaticGraph(const eth::TxSubgraph& subgraph) {
+  Graph g;
+  g.num_nodes = subgraph.num_nodes();
+  g.center = subgraph.center_index;
+  g.label = subgraph.label;
+
+  std::map<std::pair<int, int>, MergedEdge> merged;
+  for (const eth::LocalTransaction& tx : subgraph.txs) {
+    MergedEdge& e = merged[{tx.src, tx.dst}];
+    e.total_value += tx.value;
+    ++e.count;
+  }
+  g.edges.reserve(merged.size());
+  g.edge_features = Matrix(static_cast<int>(merged.size()), 2);
+  int m = 0;
+  for (const auto& [key, e] : merged) {
+    g.edges.push_back(Edge{key.first, key.second});
+    g.edge_features.At(m, 0) = e.total_value;
+    g.edge_features.At(m, 1) = static_cast<double>(e.count);
+    ++m;
+  }
+  return g;
+}
+
+std::vector<double> EvolutionTimes(const eth::TxSubgraph& subgraph) {
+  std::vector<double> times(subgraph.txs.size(), 0.0);
+  if (subgraph.txs.empty()) return times;
+  double t_min = subgraph.txs.front().timestamp;
+  double t_max = subgraph.txs.front().timestamp;
+  for (const auto& tx : subgraph.txs) {
+    t_min = std::min(t_min, tx.timestamp);
+    t_max = std::max(t_max, tx.timestamp);
+  }
+  const double span = t_max - t_min;
+  if (span <= 0.0) return times;
+  for (size_t i = 0; i < subgraph.txs.size(); ++i) {
+    times[i] = (subgraph.txs[i].timestamp - t_min) / span;
+  }
+  return times;
+}
+
+std::vector<Graph> BuildLocalDynamicGraphs(const eth::TxSubgraph& subgraph,
+                                           int num_slices) {
+  DBG4ETH_CHECK_GE(num_slices, 1);
+  const std::vector<double> times = EvolutionTimes(subgraph);
+
+  std::vector<std::map<std::pair<int, int>, MergedEdge>> merged(num_slices);
+  for (size_t i = 0; i < subgraph.txs.size(); ++i) {
+    int slice = static_cast<int>(times[i] * num_slices);
+    slice = std::min(slice, num_slices - 1);
+    MergedEdge& e = merged[slice][{subgraph.txs[i].src, subgraph.txs[i].dst}];
+    e.total_value += subgraph.txs[i].value;
+    ++e.count;
+  }
+
+  std::vector<Graph> slices(num_slices);
+  for (int k = 0; k < num_slices; ++k) {
+    Graph& g = slices[k];
+    g.num_nodes = subgraph.num_nodes();
+    g.center = subgraph.center_index;
+    g.label = subgraph.label;
+    g.edges.reserve(merged[k].size());
+    g.edge_features = Matrix(static_cast<int>(merged[k].size()), 1);
+    int m = 0;
+    for (const auto& [key, e] : merged[k]) {
+      g.edges.push_back(Edge{key.first, key.second});
+      g.edge_features.At(m, 0) = e.total_value;
+      ++m;
+    }
+  }
+  return slices;
+}
+
+}  // namespace graph
+}  // namespace dbg4eth

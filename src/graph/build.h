@@ -1,0 +1,32 @@
+#ifndef DBG4ETH_GRAPH_BUILD_H_
+#define DBG4ETH_GRAPH_BUILD_H_
+
+#include <vector>
+
+#include "eth/types.h"
+#include "graph/graph.h"
+
+namespace dbg4eth {
+namespace graph {
+
+/// Builds the Global Static Graph: transactions from v_i to v_j merge into
+/// one edge with feature r_ij = [total value w, tx count t] (Sec. III-B3).
+/// Node features are left empty; callers attach them (see features/).
+Graph BuildGlobalStaticGraph(const eth::TxSubgraph& subgraph);
+
+/// Normalized transaction evolution time of Eq. 1: (t - t_min)/(t_max -
+/// t_min) over the subgraph's transactions. Returns 0 for all when the
+/// subgraph spans a single instant.
+std::vector<double> EvolutionTimes(const eth::TxSubgraph& subgraph);
+
+/// Builds the Local Dynamic Graph: the subgraph's transactions are split
+/// into `num_slices` discrete-time graphs by evolution time; per slice,
+/// interactions merge into edges with feature [w^k]. Every slice shares the
+/// node set (and later the node feature matrix) of the subgraph.
+std::vector<Graph> BuildLocalDynamicGraphs(const eth::TxSubgraph& subgraph,
+                                           int num_slices);
+
+}  // namespace graph
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GRAPH_BUILD_H_

@@ -1,0 +1,109 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace graph {
+
+std::vector<double> DegreeCentrality(const Graph& g) {
+  std::vector<double> c(g.num_nodes, 0.0);
+  const auto deg = g.UndirectedDegrees();
+  const double denom = g.num_nodes > 1 ? g.num_nodes - 1.0 : 1.0;
+  for (int i = 0; i < g.num_nodes; ++i) {
+    c[i] = deg[i] / denom;
+  }
+  return c;
+}
+
+std::vector<double> EigenvectorCentrality(const Graph& g, int max_iters,
+                                          double tol) {
+  const int n = g.num_nodes;
+  const Matrix adj = g.DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) acc += adj.At(i, j) * x[j];
+      next[i] = acc;
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) break;
+    double delta = 0.0;
+    for (int i = 0; i < n; ++i) {
+      next[i] /= norm;
+      delta = std::max(delta, std::fabs(next[i] - x[i]));
+    }
+    x = next;
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<double> PageRankCentrality(const Graph& g, double damping,
+                                       int max_iters, double tol) {
+  const int n = g.num_nodes;
+  DBG4ETH_CHECK_GT(n, 0);
+  const Matrix adj = g.DenseAdjacency(/*symmetric=*/true, /*self_loops=*/false);
+  std::vector<double> out_weight(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) out_weight[i] += adj.At(i, j);
+  }
+  std::vector<double> pr(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double dangling = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (out_weight[i] <= 0.0) dangling += pr[i];
+    }
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (out_weight[j] > 0.0) {
+          acc += adj.At(j, i) / out_weight[j] * pr[j];
+        }
+      }
+      next[i] = (1.0 - damping) / n + damping * (acc + dangling / n);
+    }
+    double delta = 0.0;
+    for (int i = 0; i < n; ++i) delta += std::fabs(next[i] - pr[i]);
+    pr = next;
+    if (delta < tol) break;
+  }
+  return pr;
+}
+
+std::vector<double> NodeCentrality(const Graph& g,
+                                   CentralityMeasure measure) {
+  switch (measure) {
+    case CentralityMeasure::kDegree:
+      return DegreeCentrality(g);
+    case CentralityMeasure::kEigenvector:
+      return EigenvectorCentrality(g);
+    case CentralityMeasure::kPageRank:
+      return PageRankCentrality(g);
+  }
+  return DegreeCentrality(g);
+}
+
+std::vector<double> EdgeCentrality(const Graph& g,
+                                   CentralityMeasure measure) {
+  const std::vector<double> node_c = NodeCentrality(g, measure);
+  std::vector<double> edge_c(g.edges.size());
+  double min_c = 0.0;
+  for (size_t m = 0; m < g.edges.size(); ++m) {
+    const Edge& e = g.edges[m];
+    edge_c[m] = std::log((node_c[e.src] + node_c[e.dst]) / 2.0 + 1e-12);
+    min_c = m == 0 ? edge_c[m] : std::min(min_c, edge_c[m]);
+  }
+  for (double& v : edge_c) v -= min_c;
+  return edge_c;
+}
+
+}  // namespace graph
+}  // namespace dbg4eth

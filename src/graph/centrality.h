@@ -1,0 +1,38 @@
+#ifndef DBG4ETH_GRAPH_CENTRALITY_H_
+#define DBG4ETH_GRAPH_CENTRALITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dbg4eth {
+namespace graph {
+
+/// Node centrality measures used by the adaptive augmentation of the GSG
+/// encoder (GCA, Zhu et al. 2021). All treat the graph as undirected.
+enum class CentralityMeasure { kDegree, kEigenvector, kPageRank };
+
+/// Undirected degree centrality, normalized by (n - 1).
+std::vector<double> DegreeCentrality(const Graph& g);
+
+/// Principal-eigenvector centrality via power iteration on A + I.
+std::vector<double> EigenvectorCentrality(const Graph& g,
+                                          int max_iters = 100,
+                                          double tol = 1e-10);
+
+/// PageRank with the given damping factor.
+std::vector<double> PageRankCentrality(const Graph& g, double damping = 0.85,
+                                       int max_iters = 100,
+                                       double tol = 1e-10);
+
+std::vector<double> NodeCentrality(const Graph& g, CentralityMeasure measure);
+
+/// Edge centrality per GCA: s_e = log((c_u + c_v) / 2), shifted so the
+/// minimum is zero. Higher means more important (less likely to be dropped
+/// by augmentation).
+std::vector<double> EdgeCentrality(const Graph& g, CentralityMeasure measure);
+
+}  // namespace graph
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GRAPH_CENTRALITY_H_

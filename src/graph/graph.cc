@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace graph {
+
+Matrix Graph::DenseAdjacency(bool symmetric, bool self_loops) const {
+  Matrix adj(num_nodes, num_nodes);
+  for (const Edge& e : edges) {
+    DBG4ETH_CHECK(e.src >= 0 && e.src < num_nodes);
+    DBG4ETH_CHECK(e.dst >= 0 && e.dst < num_nodes);
+    adj.At(e.src, e.dst) = 1.0;
+    if (symmetric) adj.At(e.dst, e.src) = 1.0;
+  }
+  if (self_loops) {
+    for (int i = 0; i < num_nodes; ++i) adj.At(i, i) = 1.0;
+  }
+  return adj;
+}
+
+Matrix Graph::NormalizedAdjacency() const {
+  Matrix adj = DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+  std::vector<double> inv_sqrt_deg(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < num_nodes; ++j) deg += adj.At(i, j);
+    inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = 0; j < num_nodes; ++j) {
+      adj.At(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return adj;
+}
+
+Matrix Graph::AttentionMask() const {
+  return DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+}
+
+Matrix Graph::WeightedAdjacency(int value_column) const {
+  Matrix adj(num_nodes, num_nodes);
+  for (int m = 0; m < num_edges(); ++m) {
+    const Edge& e = edges[m];
+    double w = 0.0;
+    if (!edge_features.empty()) {
+      DBG4ETH_CHECK_LT(value_column, edge_features.cols());
+      w = std::log1p(std::max(0.0, edge_features.At(m, value_column)));
+    } else {
+      w = 1.0;
+    }
+    adj.At(e.src, e.dst) += w;
+    adj.At(e.dst, e.src) += w;
+  }
+  for (int i = 0; i < num_nodes; ++i) adj.At(i, i) += 1.0;
+  // Row normalization keeps propagation scale independent of degree.
+  for (int i = 0; i < num_nodes; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < num_nodes; ++j) row_sum += adj.At(i, j);
+    if (row_sum > 0.0) {
+      for (int j = 0; j < num_nodes; ++j) adj.At(i, j) /= row_sum;
+    }
+  }
+  return adj;
+}
+
+std::vector<int> Graph::UndirectedDegrees() const {
+  std::vector<int> deg(num_nodes, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.src];
+    if (e.dst != e.src) ++deg[e.dst];
+  }
+  return deg;
+}
+
+}  // namespace graph
+}  // namespace dbg4eth

@@ -1,0 +1,55 @@
+#ifndef DBG4ETH_GRAPH_GRAPH_H_
+#define DBG4ETH_GRAPH_GRAPH_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dbg4eth {
+namespace graph {
+
+/// Directed merged interaction edge between two subgraph nodes.
+struct Edge {
+  int src = 0;
+  int dst = 0;
+};
+
+/// \brief Account interaction graph: the input of the GNN encoders.
+///
+/// For the Global Static Graph (GSG) the edge feature matrix holds
+/// [total value w, transaction count t] per merged edge; for a Local
+/// Dynamic Graph (LDG) time slice it holds [w^k] (Section III-B3).
+struct Graph {
+  int num_nodes = 0;
+  std::vector<Edge> edges;
+  Matrix node_features;  ///< num_nodes x d1 (may be empty until attached).
+  Matrix edge_features;  ///< edges.size() x d2.
+  int center = 0;        ///< Local index of the target account.
+  int label = 0;         ///< Binary task label.
+
+  int num_edges() const { return static_cast<int>(edges.size()); }
+
+  /// Dense adjacency with 1.0 at connected pairs. `symmetric` unions both
+  /// directions (GNNs on account graphs treat interaction as symmetric
+  /// message passing); `self_loops` adds the identity.
+  Matrix DenseAdjacency(bool symmetric = true, bool self_loops = false) const;
+
+  /// Symmetric GCN propagation matrix D^{-1/2} (A + I) D^{-1/2}.
+  Matrix NormalizedAdjacency() const;
+
+  /// Adjacency + self loops, used as the attention support mask for GAT.
+  Matrix AttentionMask() const;
+
+  /// Value-weighted adjacency: log1p(edge value) at connected pairs,
+  /// symmetrized, with self loops of weight 1 and row normalization.
+  /// `value_column` selects the edge feature column holding the value.
+  Matrix WeightedAdjacency(int value_column = 0) const;
+
+  /// Undirected degree (in + out, counting each merged edge once).
+  std::vector<int> UndirectedDegrees() const;
+};
+
+}  // namespace graph
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GRAPH_GRAPH_H_

@@ -1,0 +1,131 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dbg4eth {
+namespace graph {
+
+namespace {
+
+struct PeerStats {
+  double total_value = 0.0;
+  int count = 0;
+  double avg() const { return count > 0 ? total_value / count : 0.0; }
+};
+
+/// Counterparty aggregate for one account, built from its incident txs.
+std::unordered_map<eth::AccountId, PeerStats> CollectPeers(
+    const eth::Ledger& ledger, eth::AccountId node) {
+  std::unordered_map<eth::AccountId, PeerStats> peers;
+  for (int idx : ledger.TransactionsOf(node)) {
+    const eth::Transaction& tx = ledger.transactions()[idx];
+    const eth::AccountId peer = tx.from == node ? tx.to : tx.from;
+    if (peer == node) continue;
+    PeerStats& st = peers[peer];
+    st.total_value += tx.value;
+    ++st.count;
+  }
+  return peers;
+}
+
+}  // namespace
+
+Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
+                                       eth::AccountId center,
+                                       const SamplingConfig& config) {
+  if (config.hops < 1 || config.top_k < 1 || config.max_nodes < 2) {
+    return Status::InvalidArgument("invalid sampling config");
+  }
+  if (center < 0 ||
+      center >= static_cast<eth::AccountId>(ledger.accounts().size())) {
+    return Status::InvalidArgument("center id out of range");
+  }
+  if (ledger.TransactionsOf(center).empty()) {
+    return Status::NotFound("center account has no transactions");
+  }
+
+  std::vector<eth::AccountId> nodes = {center};
+  std::unordered_set<eth::AccountId> selected = {center};
+  std::vector<eth::AccountId> frontier = {center};
+
+  for (int hop = 0; hop < config.hops; ++hop) {
+    std::vector<eth::AccountId> next_frontier;
+    for (eth::AccountId v : frontier) {
+      auto peers = CollectPeers(ledger, v);
+      // Rank peers by average transaction value, ties by total value
+      // (Section III-B1).
+      std::vector<std::pair<eth::AccountId, PeerStats>> ranked(peers.begin(),
+                                                               peers.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second.avg() != b.second.avg()) {
+                    return a.second.avg() > b.second.avg();
+                  }
+                  if (a.second.total_value != b.second.total_value) {
+                    return a.second.total_value > b.second.total_value;
+                  }
+                  return a.first < b.first;
+                });
+      int taken = 0;
+      for (const auto& [peer, stats] : ranked) {
+        if (taken >= config.top_k) break;
+        ++taken;  // Existing members count toward the per-node budget.
+        if (selected.count(peer)) continue;
+        if (static_cast<int>(nodes.size()) >= config.max_nodes) break;
+        selected.insert(peer);
+        nodes.push_back(peer);
+        next_frontier.push_back(peer);
+      }
+      if (static_cast<int>(nodes.size()) >= config.max_nodes) break;
+    }
+    frontier = std::move(next_frontier);
+    if (frontier.empty()) break;
+  }
+
+  // Local index map.
+  std::unordered_map<eth::AccountId, int> local;
+  local.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    local[nodes[i]] = static_cast<int>(i);
+  }
+
+  // Induced transactions: every ledger tx with both endpoints selected.
+  eth::TxSubgraph sub;
+  sub.nodes = nodes;
+  sub.center_index = 0;
+  sub.center_class = ledger.accounts()[center].cls;
+  sub.is_contract.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    sub.is_contract[i] =
+        ledger.accounts()[nodes[i]].kind == eth::AccountKind::kContract;
+  }
+  std::unordered_set<int> seen_tx;
+  for (eth::AccountId v : nodes) {
+    for (int idx : ledger.TransactionsOf(v)) {
+      if (!seen_tx.insert(idx).second) continue;
+      const eth::Transaction& tx = ledger.transactions()[idx];
+      auto from_it = local.find(tx.from);
+      auto to_it = local.find(tx.to);
+      if (from_it == local.end() || to_it == local.end()) continue;
+      eth::LocalTransaction lt;
+      lt.src = from_it->second;
+      lt.dst = to_it->second;
+      lt.value = tx.value;
+      lt.timestamp = tx.timestamp;
+      lt.gas_price = tx.gas_price;
+      lt.gas_used = tx.gas_used;
+      lt.is_contract_call = tx.is_contract_call;
+      sub.txs.push_back(lt);
+    }
+  }
+  std::sort(sub.txs.begin(), sub.txs.end(),
+            [](const eth::LocalTransaction& a, const eth::LocalTransaction& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return sub;
+}
+
+}  // namespace graph
+}  // namespace dbg4eth

@@ -1,0 +1,37 @@
+#ifndef DBG4ETH_GRAPH_SAMPLING_H_
+#define DBG4ETH_GRAPH_SAMPLING_H_
+
+#include "common/result.h"
+#include "eth/ledger.h"
+#include "eth/types.h"
+
+namespace dbg4eth {
+namespace graph {
+
+/// \brief Top-K average-transaction-value neighbor sampling (Eq. 2).
+///
+/// The paper uses hops = 2 and K = 2000 over the full mainnet crawl; on the
+/// synthetic ledger the real degree bound is what caps subgraphs, so K
+/// defaults to a value that yields subgraphs of roughly the paper's Table II
+/// size (~80-120 nodes).
+struct SamplingConfig {
+  int hops = 2;
+  int top_k = 10;
+  int max_nodes = 512;  ///< Hard cap on subgraph size.
+};
+
+/// Samples the account-centred transaction subgraph of `center`:
+/// iteratively keeps each frontier node's top-K counterparties ranked by
+/// average transaction value (ties broken by total value, Eq. 2), then
+/// retains every ledger transaction between selected nodes.
+///
+/// Fails with InvalidArgument for bad config and NotFound when `center`
+/// has no transactions at all.
+Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
+                                       eth::AccountId center,
+                                       const SamplingConfig& config);
+
+}  // namespace graph
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GRAPH_SAMPLING_H_

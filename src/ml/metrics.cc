@@ -1,0 +1,94 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace ml {
+
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred) {
+  DBG4ETH_CHECK_EQ(y_true.size(), y_pred.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      y_pred[i] == 1 ? ++cm.tp : ++cm.fn;
+    } else {
+      y_pred[i] == 1 ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred) {
+  const ConfusionMatrix cm = ComputeConfusion(y_true, y_pred);
+  auto safe_div = [](double a, double b) { return b > 0 ? a / b : 0.0; };
+  // Per-class precision/recall (class 1 and class 0), macro-averaged.
+  const double p1 = safe_div(cm.tp, cm.tp + cm.fp);
+  const double r1 = safe_div(cm.tp, cm.tp + cm.fn);
+  const double p0 = safe_div(cm.tn, cm.tn + cm.fn);
+  const double r0 = safe_div(cm.tn, cm.tn + cm.fp);
+  const double f1_1 = safe_div(2.0 * p1 * r1, p1 + r1);
+  const double f1_0 = safe_div(2.0 * p0 * r0, p0 + r0);
+
+  BinaryMetrics m;
+  m.precision = (p1 + p0) / 2.0;
+  m.recall = (r1 + r0) / 2.0;
+  m.f1 = (f1_1 + f1_0) / 2.0;
+  const double total = cm.tp + cm.fp + cm.tn + cm.fn;
+  m.accuracy = safe_div(cm.tp + cm.tn, total);
+  return m;
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<int>& y_true,
+                               const std::vector<double>& scores) {
+  DBG4ETH_CHECK_EQ(y_true.size(), scores.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  double positives = 0.0, negatives = 0.0;
+  for (int y : y_true) (y == 1 ? positives : negatives) += 1.0;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, 1.0});
+  double tp = 0.0, fp = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    // Consume all samples tied at this threshold together.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      y_true[order[i]] == 1 ? ++tp : ++fp;
+      ++i;
+    }
+    curve.push_back({negatives > 0 ? fp / negatives : 0.0,
+                     positives > 0 ? tp / positives : 0.0, threshold});
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores) {
+  const auto curve = RocCurve(y_true, scores);
+  double auc = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    auc += (curve[i].fpr - curve[i - 1].fpr) *
+           (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return auc;
+}
+
+std::vector<int> ThresholdPredictions(const std::vector<double>& probs,
+                                      double threshold) {
+  std::vector<int> out;
+  out.reserve(probs.size());
+  for (double p : probs) out.push_back(p > threshold ? 1 : 0);
+  return out;
+}
+
+}  // namespace ml
+}  // namespace dbg4eth

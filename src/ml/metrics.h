@@ -1,0 +1,56 @@
+#ifndef DBG4ETH_ML_METRICS_H_
+#define DBG4ETH_ML_METRICS_H_
+
+#include <vector>
+
+namespace dbg4eth {
+namespace ml {
+
+/// \brief Macro-averaged binary classification metrics (the paper reports
+/// macro precision/recall/F1 plus plain accuracy; e.g. a constant predictor
+/// scores P=25, R=50, F1=33.33 on a balanced set, matching Table III's
+/// degenerate rows).
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred);
+
+/// 2x2 confusion counts.
+struct ConfusionMatrix {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+};
+
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred);
+
+/// One operating point of a ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve over all score thresholds (sorted by ascending FPR).
+std::vector<RocPoint> RocCurve(const std::vector<int>& y_true,
+                               const std::vector<double>& scores);
+
+/// Area under the ROC curve (rank statistic; ties handled).
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores);
+
+/// Thresholds probabilities at 0.5.
+std::vector<int> ThresholdPredictions(const std::vector<double>& probs,
+                                      double threshold = 0.5);
+
+}  // namespace ml
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_ML_METRICS_H_

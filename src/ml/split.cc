@@ -1,0 +1,76 @@
+#include "ml/split.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace ml {
+
+SplitIndices StratifiedSplit(const std::vector<int>& labels,
+                             double train_fraction, double val_fraction,
+                             Rng* rng) {
+  DBG4ETH_CHECK_GT(train_fraction, 0.0);
+  DBG4ETH_CHECK_GE(val_fraction, 0.0);
+  DBG4ETH_CHECK_LT(train_fraction + val_fraction, 1.0 + 1e-12);
+
+  // Group indices by class label.
+  std::vector<int> classes;
+  for (int y : labels) {
+    if (std::find(classes.begin(), classes.end(), y) == classes.end()) {
+      classes.push_back(y);
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+
+  SplitIndices out;
+  for (int cls : classes) {
+    std::vector<int> members;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == cls) members.push_back(static_cast<int>(i));
+    }
+    rng->Shuffle(&members);
+    const int n = static_cast<int>(members.size());
+    const int n_train = std::max(1, static_cast<int>(n * train_fraction));
+    const int n_val = static_cast<int>(n * val_fraction);
+    for (int i = 0; i < n; ++i) {
+      if (i < n_train) {
+        out.train.push_back(members[i]);
+      } else if (i < n_train + n_val) {
+        out.val.push_back(members[i]);
+      } else {
+        out.test.push_back(members[i]);
+      }
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.val.begin(), out.val.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+std::vector<int> StratifiedFolds(const std::vector<int>& labels, int k,
+                                 Rng* rng) {
+  DBG4ETH_CHECK_GT(k, 1);
+  std::vector<int> folds(labels.size(), 0);
+  std::vector<int> classes;
+  for (int y : labels) {
+    if (std::find(classes.begin(), classes.end(), y) == classes.end()) {
+      classes.push_back(y);
+    }
+  }
+  for (int cls : classes) {
+    std::vector<int> members;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == cls) members.push_back(static_cast<int>(i));
+    }
+    rng->Shuffle(&members);
+    for (size_t i = 0; i < members.size(); ++i) {
+      folds[members[i]] = static_cast<int>(i % k);
+    }
+  }
+  return folds;
+}
+
+}  // namespace ml
+}  // namespace dbg4eth

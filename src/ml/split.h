@@ -1,0 +1,32 @@
+#ifndef DBG4ETH_ML_SPLIT_H_
+#define DBG4ETH_ML_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbg4eth {
+namespace ml {
+
+/// Index sets of a train/validation/test partition.
+struct SplitIndices {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Stratified split: each class is shuffled and divided with the given
+/// fractions (test receives the remainder). Fractions must be in (0, 1)
+/// and sum to less than 1.
+SplitIndices StratifiedSplit(const std::vector<int>& labels,
+                             double train_fraction, double val_fraction,
+                             Rng* rng);
+
+/// Stratified k-fold assignment: fold id per sample in [0, k).
+std::vector<int> StratifiedFolds(const std::vector<int>& labels, int k,
+                                 Rng* rng);
+
+}  // namespace ml
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_ML_SPLIT_H_

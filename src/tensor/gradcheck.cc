@@ -1,0 +1,47 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace ag {
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               std::vector<Tensor> params, double epsilon,
+                               double tolerance) {
+  // Analytic gradients.
+  for (Tensor& p : params) p.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Tensor& p : params) analytic.push_back(p.grad());
+
+  GradCheckResult result;
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& value = params[i].mutable_value();
+    for (int r = 0; r < value.rows(); ++r) {
+      for (int c = 0; c < value.cols(); ++c) {
+        const double orig = value.At(r, c);
+        value.At(r, c) = orig + epsilon;
+        const double up = loss_fn().ScalarValue();
+        value.At(r, c) = orig - epsilon;
+        const double down = loss_fn().ScalarValue();
+        value.At(r, c) = orig;
+        const double numeric = (up - down) / (2.0 * epsilon);
+        const double abs_err = std::fabs(numeric - analytic[i].At(r, c));
+        const double denom =
+            std::max(1.0, std::max(std::fabs(numeric),
+                                   std::fabs(analytic[i].At(r, c))));
+        result.max_abs_error = std::max(result.max_abs_error, abs_err);
+        result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+      }
+    }
+  }
+  result.passed = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace ag
+}  // namespace dbg4eth

@@ -1,0 +1,29 @@
+#ifndef DBG4ETH_TENSOR_GRADCHECK_H_
+#define DBG4ETH_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+namespace ag {
+
+/// \brief Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool passed = false;
+};
+
+/// Compares analytic gradients of `loss_fn` (a scalar function rebuilt on
+/// each call from the current parameter values) against central finite
+/// differences. Used heavily in the op and GNN-layer tests.
+GradCheckResult CheckGradients(
+    const std::function<Tensor()>& loss_fn, std::vector<Tensor> params,
+    double epsilon = 1e-5, double tolerance = 1e-4);
+
+}  // namespace ag
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_GRADCHECK_H_

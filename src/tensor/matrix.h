@@ -1,0 +1,124 @@
+#ifndef DBG4ETH_TENSOR_MATRIX_H_
+#define DBG4ETH_TENSOR_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+namespace dbg4eth {
+
+class Rng;
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// The workhorse value type of the tensor engine. All GNN computations in
+/// this reproduction run over account subgraphs of ~100 nodes, so a dense
+/// representation reproduces the paper's math exactly at negligible cost.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols),
+                               data_(static_cast<size_t>(rows) * cols, 0.0) {}
+  Matrix(int rows, int cols, double fill)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0); }
+  static Matrix Identity(int n);
+  /// Builds a rows x cols matrix from a flat row-major initializer.
+  static Matrix FromFlat(int rows, int cols, std::vector<double> values);
+  /// Column vector (n x 1) from values.
+  static Matrix ColumnVector(const std::vector<double>& values);
+  /// Row vector (1 x n) from values.
+  static Matrix RowVector(const std::vector<double>& values);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Matrix Random(int rows, int cols, Rng* rng, double lo = -1.0,
+                       double hi = 1.0);
+  /// I.i.d. normal entries.
+  static Matrix RandomNormal(int rows, int cols, Rng* rng, double mean = 0.0,
+                             double stddev = 1.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator()(int r, int c) { return At(r, c); }
+  double operator()(int r, int c) const { return At(r, c); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Element-wise in-place operations.
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(const Matrix& other);
+  Matrix& ScaleInPlace(double s);
+  void Fill(double v);
+
+  /// Returns a new transposed matrix.
+  Matrix Transposed() const;
+
+  /// Extracts rows [begin, end).
+  Matrix SliceRows(int begin, int end) const;
+
+  /// Extracts one row as a 1 x cols matrix.
+  Matrix Row(int r) const { return SliceRows(r, r + 1); }
+
+  /// Gathers the given rows into a new matrix.
+  Matrix GatherRows(const std::vector<int>& indices) const;
+
+  /// Sum of all entries.
+  double Sum() const;
+  /// Frobenius norm.
+  double Norm() const;
+  /// Largest absolute entry; 0 for empty.
+  double MaxAbs() const;
+
+  /// All entries finite?
+  bool AllFinite() const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b (matrix product). Shapes must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// Accumulates a * b into *out (must be pre-shaped).
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a^T * b without materializing the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// out = a * b^T without materializing the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Mul(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, double s);
+
+/// Horizontal concatenation [a | b].
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+/// Vertical concatenation.
+Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_MATRIX_H_

@@ -1,0 +1,690 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace dbg4eth {
+namespace ag {
+
+namespace {
+
+using internal::TensorNode;
+
+/// Creates a non-leaf node with the given value and parents; requires_grad
+/// is inherited from the parents.
+Tensor MakeNode(Matrix value, std::vector<Tensor> parents,
+                std::function<void(TensorNode*)> backward_fn,
+                const char* op_name) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->op_name = op_name;
+  bool needs_grad = false;
+  node->parents.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    DBG4ETH_CHECK(p.defined());
+    needs_grad = needs_grad || p.node()->requires_grad;
+    node->parents.push_back(p.node());
+  }
+  node->requires_grad = needs_grad;
+  if (needs_grad) node->backward_fn = std::move(backward_fn);
+  return Tensor::FromNode(std::move(node));
+}
+
+Matrix& ParentGrad(TensorNode* node, int i) {
+  node->parents[i]->EnsureGrad();
+  return node->parents[i]->grad;
+}
+
+const Matrix& ParentValue(TensorNode* node, int i) {
+  return node->parents[i]->value;
+}
+
+bool ParentRequires(TensorNode* node, int i) {
+  return node->parents[i]->requires_grad;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out = dbg4eth::MatMul(a.value(), b.value());
+  return MakeNode(
+      std::move(out), {a, b},
+      [](TensorNode* n) {
+        const Matrix& g = n->grad;
+        if (ParentRequires(n, 0)) {
+          // dA = dOut @ B^T
+          ParentGrad(n, 0).AddInPlace(MatMulTransB(g, ParentValue(n, 1)));
+        }
+        if (ParentRequires(n, 1)) {
+          // dB = A^T @ dOut
+          ParentGrad(n, 1).AddInPlace(MatMulTransA(ParentValue(n, 0), g));
+        }
+      },
+      "matmul");
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return MakeNode(
+      dbg4eth::Add(a.value(), b.value()), {a, b},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
+        if (ParentRequires(n, 1)) ParentGrad(n, 1).AddInPlace(n->grad);
+      },
+      "add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return MakeNode(
+      dbg4eth::Sub(a.value(), b.value()), {a, b},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
+        if (ParentRequires(n, 1)) ParentGrad(n, 1).SubInPlace(n->grad);
+      },
+      "sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return MakeNode(
+      dbg4eth::Mul(a.value(), b.value()), {a, b},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          ParentGrad(n, 0).AddInPlace(dbg4eth::Mul(n->grad, ParentValue(n, 1)));
+        }
+        if (ParentRequires(n, 1)) {
+          ParentGrad(n, 1).AddInPlace(dbg4eth::Mul(n->grad, ParentValue(n, 0)));
+        }
+      },
+      "mul");
+}
+
+Tensor ScalarMul(const Tensor& a, double s) {
+  return MakeNode(
+      dbg4eth::Scale(a.value(), s), {a},
+      [s](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          ParentGrad(n, 0).AddInPlace(dbg4eth::Scale(n->grad, s));
+        }
+      },
+      "scalar_mul");
+}
+
+Tensor ScalarAdd(const Tensor& a, double s) {
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) += s;
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
+      },
+      "scalar_add");
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  DBG4ETH_CHECK_EQ(bias.rows(), 1);
+  DBG4ETH_CHECK_EQ(bias.cols(), a.cols());
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    const double* b = bias.value().RowPtr(0);
+    double* row = out.RowPtr(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  return MakeNode(
+      std::move(out), {a, bias},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
+        if (ParentRequires(n, 1)) {
+          Matrix& bg = ParentGrad(n, 1);
+          for (int r = 0; r < n->grad.rows(); ++r) {
+            const double* g = n->grad.RowPtr(r);
+            for (int c = 0; c < n->grad.cols(); ++c) bg.At(0, c) += g[c];
+          }
+        }
+      },
+      "add_row_broadcast");
+}
+
+Tensor BroadcastRow(const Tensor& row, int n_rows) {
+  DBG4ETH_CHECK_EQ(row.rows(), 1);
+  Matrix out(n_rows, row.cols());
+  for (int r = 0; r < n_rows; ++r) {
+    for (int c = 0; c < row.cols(); ++c) out.At(r, c) = row.value().At(0, c);
+  }
+  return MakeNode(
+      std::move(out), {row},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          Matrix& g = ParentGrad(n, 0);
+          for (int r = 0; r < n->grad.rows(); ++r) {
+            for (int c = 0; c < n->grad.cols(); ++c) {
+              g.At(0, c) += n->grad.At(r, c);
+            }
+          }
+        }
+      },
+      "broadcast_row");
+}
+
+Tensor PairwiseSum(const Tensor& u, const Tensor& v) {
+  DBG4ETH_CHECK_EQ(u.cols(), 1);
+  DBG4ETH_CHECK_EQ(v.cols(), 1);
+  const int n = u.rows();
+  const int m = v.rows();
+  Matrix out(n, m);
+  for (int i = 0; i < n; ++i) {
+    const double ui = u.value().At(i, 0);
+    for (int j = 0; j < m; ++j) out.At(i, j) = ui + v.value().At(j, 0);
+  }
+  return MakeNode(
+      std::move(out), {u, v},
+      [](TensorNode* n_) {
+        const Matrix& g = n_->grad;
+        if (ParentRequires(n_, 0)) {
+          Matrix& gu = ParentGrad(n_, 0);
+          for (int i = 0; i < g.rows(); ++i) {
+            double acc = 0.0;
+            for (int j = 0; j < g.cols(); ++j) acc += g.At(i, j);
+            gu.At(i, 0) += acc;
+          }
+        }
+        if (ParentRequires(n_, 1)) {
+          Matrix& gv = ParentGrad(n_, 1);
+          for (int j = 0; j < g.cols(); ++j) {
+            double acc = 0.0;
+            for (int i = 0; i < g.rows(); ++i) acc += g.At(i, j);
+            gv.At(j, 0) += acc;
+          }
+        }
+      },
+      "pairwise_sum");
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  const int ac = a.cols();
+  return MakeNode(
+      dbg4eth::ConcatCols(a.value(), b.value()), {a, b},
+      [ac](TensorNode* n) {
+        const Matrix& g = n->grad;
+        if (ParentRequires(n, 0)) {
+          Matrix& ga = ParentGrad(n, 0);
+          for (int r = 0; r < ga.rows(); ++r) {
+            for (int c = 0; c < ac; ++c) ga.At(r, c) += g.At(r, c);
+          }
+        }
+        if (ParentRequires(n, 1)) {
+          Matrix& gb = ParentGrad(n, 1);
+          for (int r = 0; r < gb.rows(); ++r) {
+            for (int c = 0; c < gb.cols(); ++c) gb.At(r, c) += g.At(r, ac + c);
+          }
+        }
+      },
+      "concat_cols");
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  const int ar = a.rows();
+  return MakeNode(
+      dbg4eth::ConcatRows(a.value(), b.value()), {a, b},
+      [ar](TensorNode* n) {
+        const Matrix& g = n->grad;
+        if (ParentRequires(n, 0)) {
+          Matrix& ga = ParentGrad(n, 0);
+          for (int r = 0; r < ar; ++r) {
+            for (int c = 0; c < ga.cols(); ++c) ga.At(r, c) += g.At(r, c);
+          }
+        }
+        if (ParentRequires(n, 1)) {
+          Matrix& gb = ParentGrad(n, 1);
+          for (int r = 0; r < gb.rows(); ++r) {
+            for (int c = 0; c < gb.cols(); ++c) gb.At(r, c) += g.At(ar + r, c);
+          }
+        }
+      },
+      "concat_rows");
+}
+
+Tensor ConcatRowsList(const std::vector<Tensor>& parts) {
+  DBG4ETH_CHECK(!parts.empty());
+  int total_rows = 0;
+  const int cols = parts[0].cols();
+  for (const Tensor& p : parts) {
+    DBG4ETH_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  Matrix out(total_rows, cols);
+  std::vector<int> offsets(parts.size());
+  int off = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    offsets[i] = off;
+    const Matrix& v = parts[i].value();
+    for (int r = 0; r < v.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.At(off + r, c) = v.At(r, c);
+    }
+    off += v.rows();
+  }
+  return MakeNode(
+      std::move(out), parts,
+      [offsets](TensorNode* n) {
+        for (size_t i = 0; i < n->parents.size(); ++i) {
+          if (!ParentRequires(n, static_cast<int>(i))) continue;
+          Matrix& g = ParentGrad(n, static_cast<int>(i));
+          const int base = offsets[i];
+          for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < g.cols(); ++c) {
+              g.At(r, c) += n->grad.At(base + r, c);
+            }
+          }
+        }
+      },
+      "concat_rows_list");
+}
+
+Tensor SliceRows(const Tensor& a, int begin, int end) {
+  return MakeNode(
+      a.value().SliceRows(begin, end), {a},
+      [begin](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          Matrix& g = ParentGrad(n, 0);
+          for (int r = 0; r < n->grad.rows(); ++r) {
+            for (int c = 0; c < n->grad.cols(); ++c) {
+              g.At(begin + r, c) += n->grad.At(r, c);
+            }
+          }
+        }
+      },
+      "slice_rows");
+}
+
+Tensor Transpose(const Tensor& a) {
+  return MakeNode(
+      a.value().Transposed(), {a},
+      [](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          ParentGrad(n, 0).AddInPlace(n->grad.Transposed());
+        }
+      },
+      "transpose");
+}
+
+namespace {
+
+/// Shared implementation for element-wise activations: forward maps each
+/// entry, backward multiplies the upstream grad by dact(x, y).
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseOp(const Tensor& a, Fwd fwd, Bwd bwd, const char* name) {
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] = fwd(row[c]);
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [bwd](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        const Matrix& x = ParentValue(n, 0);
+        const Matrix& y = n->value;
+        for (int r = 0; r < g.rows(); ++r) {
+          for (int c = 0; c < g.cols(); ++c) {
+            g.At(r, c) += n->grad.At(r, c) * bwd(x.At(r, c), y.At(r, c));
+          }
+        }
+      },
+      name);
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](double x) { return x > 0 ? x : 0.0; },
+      [](double x, double) { return x > 0 ? 1.0 : 0.0; }, "relu");
+}
+
+Tensor LeakyRelu(const Tensor& a, double negative_slope) {
+  return ElementwiseOp(
+      a,
+      [negative_slope](double x) { return x > 0 ? x : negative_slope * x; },
+      [negative_slope](double x, double) {
+        return x > 0 ? 1.0 : negative_slope;
+      },
+      "leaky_relu");
+}
+
+Tensor Elu(const Tensor& a, double alpha) {
+  return ElementwiseOp(
+      a,
+      [alpha](double x) { return x > 0 ? x : alpha * (std::exp(x) - 1.0); },
+      [alpha](double x, double y) { return x > 0 ? 1.0 : y + alpha; }, "elu");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; }, "tanh");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](double x) { return dbg4eth::Sigmoid(x); },
+      [](double, double y) { return y * (1.0 - y); }, "sigmoid");
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](double x) { return std::exp(x); },
+      [](double, double y) { return y; }, "exp");
+}
+
+Tensor Log(const Tensor& a, double eps) {
+  return ElementwiseOp(
+      a, [eps](double x) { return std::log(std::max(x, eps)); },
+      [eps](double x, double) { return 1.0 / std::max(x, eps); }, "log");
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Matrix out = SoftmaxRowsValue(a.value());
+  return MakeNode(
+      std::move(out), {a},
+      [](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        const Matrix& y = n->value;
+        for (int r = 0; r < y.rows(); ++r) {
+          double dot = 0.0;
+          for (int c = 0; c < y.cols(); ++c) {
+            dot += n->grad.At(r, c) * y.At(r, c);
+          }
+          for (int c = 0; c < y.cols(); ++c) {
+            g.At(r, c) += y.At(r, c) * (n->grad.At(r, c) - dot);
+          }
+        }
+      },
+      "softmax_rows");
+}
+
+Tensor MaskedSoftmaxRows(const Tensor& a, const Matrix& mask) {
+  DBG4ETH_CHECK(a.value().SameShape(mask));
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    double max_v = -1e300;
+    bool any = false;
+    for (int c = 0; c < a.cols(); ++c) {
+      if (mask.At(r, c) != 0.0) {
+        any = true;
+        max_v = std::max(max_v, a.value().At(r, c));
+      }
+    }
+    if (!any) continue;  // all-zero row
+    double denom = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      if (mask.At(r, c) != 0.0) {
+        denom += std::exp(a.value().At(r, c) - max_v);
+      }
+    }
+    for (int c = 0; c < a.cols(); ++c) {
+      if (mask.At(r, c) != 0.0) {
+        out.At(r, c) = std::exp(a.value().At(r, c) - max_v) / denom;
+      }
+    }
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        // Same Jacobian as softmax, restricted to the support (entries
+        // outside the mask have y == 0 so they contribute/receive nothing).
+        Matrix& g = ParentGrad(n, 0);
+        const Matrix& y = n->value;
+        for (int r = 0; r < y.rows(); ++r) {
+          double dot = 0.0;
+          for (int c = 0; c < y.cols(); ++c) {
+            dot += n->grad.At(r, c) * y.At(r, c);
+          }
+          for (int c = 0; c < y.cols(); ++c) {
+            g.At(r, c) += y.At(r, c) * (n->grad.At(r, c) - dot);
+          }
+        }
+      },
+      "masked_softmax_rows");
+}
+
+Tensor SoftmaxColVector(const Tensor& a) {
+  DBG4ETH_CHECK_EQ(a.cols(), 1);
+  Tensor as_row = Transpose(a);
+  Tensor soft = SoftmaxRows(as_row);
+  return Transpose(soft);
+}
+
+Tensor SumAll(const Tensor& a) {
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().Sum();
+  return MakeNode(
+      std::move(out), {a},
+      [](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        const double gv = n->grad.At(0, 0);
+        for (int r = 0; r < g.rows(); ++r) {
+          for (int c = 0; c < g.cols(); ++c) g.At(r, c) += gv;
+        }
+      },
+      "sum_all");
+}
+
+Tensor MeanAll(const Tensor& a) {
+  const double inv = 1.0 / static_cast<double>(a.value().size());
+  return ScalarMul(SumAll(a), inv);
+}
+
+Tensor RowSum(const Tensor& a) {
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < a.cols(); ++c) acc += a.value().At(r, c);
+    out.At(r, 0) = acc;
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        for (int r = 0; r < g.rows(); ++r) {
+          const double gv = n->grad.At(r, 0);
+          for (int c = 0; c < g.cols(); ++c) g.At(r, c) += gv;
+        }
+      },
+      "row_sum");
+}
+
+Tensor ColMean(const Tensor& a) {
+  const int n_rows = a.rows();
+  Matrix out(1, a.cols());
+  for (int c = 0; c < a.cols(); ++c) {
+    double acc = 0.0;
+    for (int r = 0; r < n_rows; ++r) acc += a.value().At(r, c);
+    out.At(0, c) = acc / n_rows;
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [n_rows](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        for (int c = 0; c < g.cols(); ++c) {
+          const double gv = n->grad.At(0, c) / n_rows;
+          for (int r = 0; r < g.rows(); ++r) g.At(r, c) += gv;
+        }
+      },
+      "col_mean");
+}
+
+Tensor MaxPoolRows(const Tensor& a) {
+  DBG4ETH_CHECK_GT(a.rows(), 0);
+  Matrix out(1, a.cols());
+  std::vector<int> argmax(a.cols(), 0);
+  for (int c = 0; c < a.cols(); ++c) {
+    double best = a.value().At(0, c);
+    int best_r = 0;
+    for (int r = 1; r < a.rows(); ++r) {
+      if (a.value().At(r, c) > best) {
+        best = a.value().At(r, c);
+        best_r = r;
+      }
+    }
+    out.At(0, c) = best;
+    argmax[c] = best_r;
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [argmax](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        for (int c = 0; c < g.cols(); ++c) {
+          g.At(argmax[c], c) += n->grad.At(0, c);
+        }
+      },
+      "max_pool_rows");
+}
+
+Tensor MeanPoolRows(const Tensor& a) { return ColMean(a); }
+
+Tensor SumPoolRows(const Tensor& a) {
+  return ScalarMul(ColMean(a), static_cast<double>(a.rows()));
+}
+
+Tensor L2NormalizeRows(const Tensor& a, double eps) {
+  Matrix out = a.value();
+  std::vector<double> norms(a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      acc += out.At(r, c) * out.At(r, c);
+    }
+    norms[r] = std::sqrt(acc) + eps;
+    for (int c = 0; c < a.cols(); ++c) out.At(r, c) /= norms[r];
+  }
+  return MakeNode(
+      std::move(out), {a},
+      [norms](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        Matrix& g = ParentGrad(n, 0);
+        const Matrix& y = n->value;
+        for (int r = 0; r < y.rows(); ++r) {
+          double dot = 0.0;
+          for (int c = 0; c < y.cols(); ++c) {
+            dot += n->grad.At(r, c) * y.At(r, c);
+          }
+          for (int c = 0; c < y.cols(); ++c) {
+            g.At(r, c) += (n->grad.At(r, c) - dot * y.At(r, c)) / norms[r];
+          }
+        }
+      },
+      "l2_normalize_rows");
+}
+
+Tensor Dropout(const Tensor& a, double p, Rng* rng, bool training) {
+  if (!training || p <= 0.0) return a;
+  DBG4ETH_CHECK_LT(p, 1.0);
+  Matrix mask(a.rows(), a.cols());
+  const double scale = 1.0 / (1.0 - p);
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      mask.At(r, c) = rng->Bernoulli(p) ? 0.0 : scale;
+    }
+  }
+  Matrix out = dbg4eth::Mul(a.value(), mask);
+  return MakeNode(
+      std::move(out), {a},
+      [mask](TensorNode* n) {
+        if (!ParentRequires(n, 0)) return;
+        ParentGrad(n, 0).AddInPlace(dbg4eth::Mul(n->grad, mask));
+      },
+      "dropout");
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels) {
+  DBG4ETH_CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
+  const Matrix probs = SoftmaxRowsValue(logits.value());
+  const int n = logits.rows();
+  double loss = 0.0;
+  for (int r = 0; r < n; ++r) {
+    DBG4ETH_CHECK(labels[r] >= 0 && labels[r] < logits.cols());
+    loss -= std::log(std::max(probs.At(r, labels[r]), 1e-12));
+  }
+  Matrix out(1, 1);
+  out.At(0, 0) = loss / n;
+  return MakeNode(
+      std::move(out), {logits},
+      [probs, labels, n](TensorNode* node) {
+        if (!ParentRequires(node, 0)) return;
+        Matrix& g = ParentGrad(node, 0);
+        const double gv = node->grad.At(0, 0) / n;
+        for (int r = 0; r < probs.rows(); ++r) {
+          for (int c = 0; c < probs.cols(); ++c) {
+            const double delta = (c == labels[r]) ? 1.0 : 0.0;
+            g.At(r, c) += gv * (probs.At(r, c) - delta);
+          }
+        }
+      },
+      "softmax_cross_entropy");
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<int>& labels) {
+  DBG4ETH_CHECK_EQ(logits.cols(), 1);
+  DBG4ETH_CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
+  const int n = logits.rows();
+  double loss = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const double x = logits.value().At(r, 0);
+    const double y = static_cast<double>(labels[r]);
+    // log(1 + exp(-|x|)) + max(x,0) - x*y, numerically stable.
+    loss += std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0) - x * y;
+  }
+  Matrix out(1, 1);
+  out.At(0, 0) = loss / n;
+  return MakeNode(
+      std::move(out), {logits},
+      [labels, n](TensorNode* node) {
+        if (!ParentRequires(node, 0)) return;
+        Matrix& g = ParentGrad(node, 0);
+        const Matrix& x = ParentValue(node, 0);
+        const double gv = node->grad.At(0, 0) / n;
+        for (int r = 0; r < x.rows(); ++r) {
+          const double p = dbg4eth::Sigmoid(x.At(r, 0));
+          g.At(r, 0) += gv * (p - labels[r]);
+        }
+      },
+      "bce_with_logits");
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  Tensor diff = Sub(a, b);
+  return MeanAll(Mul(diff, diff));
+}
+
+Matrix SoftmaxRowsValue(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    double max_v = logits.At(r, 0);
+    for (int c = 1; c < logits.cols(); ++c) {
+      max_v = std::max(max_v, logits.At(r, c));
+    }
+    double denom = 0.0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(logits.At(r, c) - max_v);
+    }
+    for (int c = 0; c < logits.cols(); ++c) {
+      out.At(r, c) = std::exp(logits.At(r, c) - max_v) / denom;
+    }
+  }
+  return out;
+}
+
+}  // namespace ag
+}  // namespace dbg4eth

@@ -1,0 +1,107 @@
+#ifndef DBG4ETH_TENSOR_OPS_H_
+#define DBG4ETH_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+
+class Rng;
+
+namespace ag {
+
+/// Differentiable operations over Tensors. Each op appends one node to the
+/// dynamic tape; Tensor::Backward() replays the tape in reverse.
+
+/// Matrix product a @ b.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Element-wise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Element-wise a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Element-wise (Hadamard) a * b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// a * s.
+Tensor ScalarMul(const Tensor& a, double s);
+/// a + s (element-wise).
+Tensor ScalarAdd(const Tensor& a, double s);
+
+/// Adds a 1 x C bias row to every row of a (N x C).
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Replicates a 1 x C row tensor into N identical rows.
+Tensor BroadcastRow(const Tensor& row, int n);
+
+/// S_ij = u_i + v_j for column vectors u (N x 1) and v (M x 1).
+Tensor PairwiseSum(const Tensor& u, const Tensor& v);
+
+/// Horizontal concatenation [a | b].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Vertical concatenation [a ; b].
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+/// Vertical concatenation of a list (each must share the column count).
+Tensor ConcatRowsList(const std::vector<Tensor>& parts);
+
+/// Rows [begin, end) of a.
+Tensor SliceRows(const Tensor& a, int begin, int end);
+/// Transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Activations.
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, double negative_slope = 0.2);
+Tensor Elu(const Tensor& a, double alpha = 1.0);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log of entries clamped to >= eps for stability.
+Tensor Log(const Tensor& a, double eps = 1e-12);
+
+/// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& a);
+/// Row-wise softmax restricted to positions where mask != 0; rows whose mask
+/// is entirely zero produce an all-zero row.
+Tensor MaskedSoftmaxRows(const Tensor& a, const Matrix& mask);
+/// Softmax over the entries of an N x 1 column vector.
+Tensor SoftmaxColVector(const Tensor& a);
+
+/// Reductions.
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+/// N x C -> N x 1 row sums.
+Tensor RowSum(const Tensor& a);
+/// N x C -> 1 x C column means.
+Tensor ColMean(const Tensor& a);
+/// N x C -> 1 x C column-wise max (gradient routed to the argmax entries).
+Tensor MaxPoolRows(const Tensor& a);
+/// N x C -> 1 x C column means (alias of ColMean, named for pooling use).
+Tensor MeanPoolRows(const Tensor& a);
+/// N x C -> 1 x C column sums.
+Tensor SumPoolRows(const Tensor& a);
+
+/// L2-normalizes every row (zero rows stay zero).
+Tensor L2NormalizeRows(const Tensor& a, double eps = 1e-12);
+
+/// Inverted dropout: scales kept entries by 1/(1-p) when training is true;
+/// identity otherwise.
+Tensor Dropout(const Tensor& a, double p, Rng* rng, bool training);
+
+/// Mean softmax cross-entropy of logits (N x C) against integer labels.
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels);
+
+/// Mean binary cross-entropy of logits (N x 1) against {0,1} labels.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean squared error between a and b (same shape).
+Tensor MseLoss(const Tensor& a, const Tensor& b);
+
+/// Softmax probabilities of the tape-free forward pass (no gradient).
+Matrix SoftmaxRowsValue(const Matrix& logits);
+
+}  // namespace ag
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_OPS_H_

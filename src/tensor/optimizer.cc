@@ -1,0 +1,95 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace ag {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    DBG4ETH_CHECK(p.defined());
+    DBG4ETH_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    const double n = p.grad().Norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm || total == 0.0) return;
+  const double scale = max_norm / total;
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    p.node()->grad.ScaleInPlace(scale);
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& grad = p.grad();
+    for (int r = 0; r < value.rows(); ++r) {
+      for (int c = 0; c < value.cols(); ++c) {
+        const double g = grad.At(r, c) + weight_decay_ * value.At(r, c);
+        value.At(r, c) -= lr_ * g;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.has_grad()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& grad = p.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int r = 0; r < value.rows(); ++r) {
+      for (int c = 0; c < value.cols(); ++c) {
+        const double g = grad.At(r, c) + weight_decay_ * value.At(r, c);
+        m.At(r, c) = beta1_ * m.At(r, c) + (1.0 - beta1_) * g;
+        v.At(r, c) = beta2_ * v.At(r, c) + (1.0 - beta2_) * g * g;
+        const double m_hat = m.At(r, c) / bc1;
+        const double v_hat = v.At(r, c) / bc2;
+        value.At(r, c) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+      }
+    }
+  }
+}
+
+}  // namespace ag
+}  // namespace dbg4eth

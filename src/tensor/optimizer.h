@@ -1,0 +1,75 @@
+#ifndef DBG4ETH_TENSOR_OPTIMIZER_H_
+#define DBG4ETH_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+namespace ag {
+
+/// \brief Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most max_norm.
+  void ClipGradNorm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// \brief Plain SGD with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace ag
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,58 @@
+#include "tensor/serialize.h"
+
+#include "common/string_util.h"
+
+namespace dbg4eth {
+
+void WriteMatrix(BinaryWriter* writer, const Matrix& m) {
+  writer->WriteI32(m.rows());
+  writer->WriteI32(m.cols());
+  std::vector<double> flat(m.data(), m.data() + m.size());
+  writer->WriteDoubleVector(flat);
+}
+
+Status ReadMatrix(BinaryReader* reader, Matrix* m) {
+  int32_t rows = 0, cols = 0;
+  DBG4ETH_RETURN_NOT_OK(reader->ReadI32(&rows));
+  DBG4ETH_RETURN_NOT_OK(reader->ReadI32(&cols));
+  if (rows < 0 || cols < 0) {
+    return Status::Internal("corrupt checkpoint: negative matrix shape");
+  }
+  std::vector<double> flat;
+  DBG4ETH_RETURN_NOT_OK(reader->ReadDoubleVector(&flat));
+  if (flat.size() != static_cast<size_t>(rows) * cols) {
+    return Status::Internal("corrupt checkpoint: matrix payload mismatch");
+  }
+  *m = Matrix::FromFlat(rows, cols, std::move(flat));
+  return Status::OK();
+}
+
+namespace ag {
+
+void WriteParameters(BinaryWriter* writer,
+                     const std::vector<Tensor>& params) {
+  writer->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const Tensor& p : params) WriteMatrix(writer, p.value());
+}
+
+Status ReadParameters(BinaryReader* reader, std::vector<Tensor>* params) {
+  uint32_t count = 0;
+  DBG4ETH_RETURN_NOT_OK(reader->ReadU32(&count));
+  if (count != params->size()) {
+    return Status::Internal(StrFormat(
+        "checkpoint has %u parameters, module expects %zu", count,
+        params->size()));
+  }
+  for (Tensor& p : *params) {
+    Matrix value;
+    DBG4ETH_RETURN_NOT_OK(ReadMatrix(reader, &value));
+    if (value.rows() != p.rows() || value.cols() != p.cols()) {
+      return Status::Internal("checkpoint parameter shape mismatch");
+    }
+    p.mutable_value() = std::move(value);
+  }
+  return Status::OK();
+}
+
+}  // namespace ag
+}  // namespace dbg4eth

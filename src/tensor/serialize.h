@@ -1,0 +1,31 @@
+#ifndef DBG4ETH_TENSOR_SERIALIZE_H_
+#define DBG4ETH_TENSOR_SERIALIZE_H_
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+
+/// Writes a matrix (shape + row-major payload).
+void WriteMatrix(BinaryWriter* writer, const Matrix& m);
+
+/// Reads a matrix written by WriteMatrix.
+Status ReadMatrix(BinaryReader* reader, Matrix* m);
+
+namespace ag {
+
+/// Writes the values of a parameter list (shapes included).
+void WriteParameters(BinaryWriter* writer,
+                     const std::vector<Tensor>& params);
+
+/// Restores values into an existing parameter list; shapes must match the
+/// checkpoint exactly (i.e. the module must be constructed with the same
+/// architecture configuration).
+Status ReadParameters(BinaryReader* reader, std::vector<Tensor>* params);
+
+}  // namespace ag
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_SERIALIZE_H_

@@ -1,0 +1,122 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace ag {
+
+namespace internal {
+
+void TensorNode::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+}  // namespace internal
+
+Tensor::Tensor(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<internal::TensorNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->op_name = "leaf";
+}
+
+const Matrix& Tensor::value() const {
+  DBG4ETH_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  DBG4ETH_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  DBG4ETH_CHECK(defined());
+  DBG4ETH_CHECK(has_grad()) << "tensor has no gradient";
+  return node_->grad;
+}
+
+bool Tensor::has_grad() const {
+  return defined() && node_->grad.rows() == node_->value.rows() &&
+         node_->grad.cols() == node_->value.cols() && !node_->value.empty();
+}
+
+bool Tensor::requires_grad() const { return defined() && node_->requires_grad; }
+
+void Tensor::ZeroGrad() {
+  DBG4ETH_CHECK(defined());
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0);
+}
+
+void Tensor::Backward() {
+  DBG4ETH_CHECK(defined());
+  DBG4ETH_CHECK(rows() == 1 && cols() == 1)
+      << "Backward() requires a scalar output, got " << rows() << "x"
+      << cols();
+
+  // Topological order via iterative post-order DFS over requires_grad nodes.
+  std::vector<internal::TensorNode*> topo;
+  std::unordered_set<internal::TensorNode*> visited;
+  struct Frame {
+    internal::TensorNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorNode* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Zero grads of all interior (non-leaf) nodes; leaf (parameter) grads
+  // accumulate across Backward() calls until the optimizer clears them.
+  for (internal::TensorNode* node : topo) {
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->grad.Fill(0.0);
+    } else {
+      node->EnsureGrad();
+    }
+  }
+
+  node_->EnsureGrad();
+  node_->grad.At(0, 0) += 1.0;
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    internal::TensorNode* node = *it;
+    if (node->backward_fn) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+double Tensor::ScalarValue() const {
+  DBG4ETH_CHECK(rows() == 1 && cols() == 1);
+  return value().At(0, 0);
+}
+
+Tensor Tensor::FromNode(std::shared_ptr<internal::TensorNode> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+}  // namespace ag
+}  // namespace dbg4eth

@@ -1,0 +1,84 @@
+#ifndef DBG4ETH_TENSOR_TENSOR_H_
+#define DBG4ETH_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dbg4eth {
+namespace ag {
+
+class Tensor;
+
+namespace internal {
+
+/// One node of the dynamic computation graph built by the ops in ops.h.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // allocated lazily by EnsureGrad()
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Propagates this node's grad into its parents' grads.
+  std::function<void(TensorNode*)> backward_fn;
+  std::string op_name;
+
+  /// Allocates (zeroed) grad storage if absent; keeps existing contents so
+  /// that repeated Backward() calls accumulate into parameter gradients.
+  void EnsureGrad();
+};
+
+}  // namespace internal
+
+/// \brief Value-semantic handle to a node of the autograd tape.
+///
+/// Building blocks live in ops.h; calling Backward() on a scalar output
+/// back-propagates through every reachable node that requires gradients.
+class Tensor {
+ public:
+  /// Null tensor (no node). Most APIs require a non-null tensor.
+  Tensor() = default;
+  /// Leaf tensor holding `value`.
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  /// Convenience factories.
+  static Tensor Constant(Matrix value) { return Tensor(std::move(value)); }
+  static Tensor Parameter(Matrix value) {
+    return Tensor(std::move(value), /*requires_grad=*/true);
+  }
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const;
+  Matrix& mutable_value();
+  /// Gradient; CHECK-fails if never populated.
+  const Matrix& grad() const;
+  bool has_grad() const;
+  bool requires_grad() const;
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Zeroes this tensor's gradient buffer (allocating it if needed).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this tensor. The tensor must be
+  /// a 1x1 scalar; its gradient is seeded with 1.
+  void Backward();
+
+  /// Value of a 1x1 tensor.
+  double ScalarValue() const;
+
+  /// Internal: used by ops to construct non-leaf nodes.
+  static Tensor FromNode(std::shared_ptr<internal::TensorNode> node);
+  const std::shared_ptr<internal::TensorNode>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+}  // namespace ag
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_TENSOR_TENSOR_H_

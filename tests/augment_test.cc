@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "augment/augmentation.h"
+#include "augment/contrastive.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace dbg4eth {
+namespace augment {
+namespace {
+
+graph::Graph StarPlusTail() {
+  // Hub 0 with spokes 1-3; tail 3-4; node features 5 x 4.
+  graph::Graph g;
+  g.num_nodes = 5;
+  g.edges = {{0, 1}, {0, 2}, {0, 3}, {3, 4}};
+  g.edge_features = Matrix::Ones(4, 2);
+  Rng rng(3);
+  g.node_features = Matrix::Random(5, 4, &rng, 0.0, 1.0);
+  return g;
+}
+
+TEST(AugmentationTest, EdgeDropProbsFavorPeripheralEdges) {
+  graph::Graph g = StarPlusTail();
+  AugmentationConfig config;
+  config.edge_drop_prob = 0.3;
+  auto probs = EdgeDropProbabilities(g, config);
+  ASSERT_EQ(probs.size(), 4u);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, config.max_prob);
+  }
+  // Hub edge (0,1) is more central than tail edge (3,4): dropped less.
+  EXPECT_LT(probs[0], probs[3]);
+}
+
+TEST(AugmentationTest, FeatureMaskProbsBounded) {
+  graph::Graph g = StarPlusTail();
+  AugmentationConfig config;
+  config.feature_mask_prob = 0.2;
+  auto probs = FeatureMaskProbabilities(g, config);
+  ASSERT_EQ(probs.size(), 4u);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, config.max_prob);
+  }
+}
+
+TEST(AugmentationTest, ZeroProbabilityIsIdentityTopology) {
+  graph::Graph g = StarPlusTail();
+  AugmentationConfig config;
+  config.edge_drop_prob = 0.0;
+  config.feature_mask_prob = 0.0;
+  Rng rng(1);
+  graph::Graph aug = AugmentGraph(g, config, &rng);
+  EXPECT_EQ(aug.num_edges(), g.num_edges());
+  EXPECT_TRUE(AlmostEqual(aug.node_features, g.node_features));
+}
+
+TEST(AugmentationTest, DropsSomeEdgesAtHighProbability) {
+  graph::Graph g = StarPlusTail();
+  AugmentationConfig config;
+  config.edge_drop_prob = 0.8;
+  Rng rng(5);
+  int total_kept = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Graph aug = AugmentGraph(g, config, &rng);
+    EXPECT_GE(aug.num_edges(), 1);  // never empties the graph
+    EXPECT_LE(aug.num_edges(), g.num_edges());
+    EXPECT_EQ(aug.edge_features.rows(), aug.num_edges());
+    total_kept += aug.num_edges();
+  }
+  EXPECT_LT(total_kept, 20 * g.num_edges());
+}
+
+TEST(AugmentationTest, MasksWholeColumns) {
+  graph::Graph g = StarPlusTail();
+  AugmentationConfig config;
+  config.edge_drop_prob = 0.0;
+  config.feature_mask_prob = 0.9;
+  Rng rng(7);
+  bool saw_masked_column = false;
+  for (int trial = 0; trial < 10 && !saw_masked_column; ++trial) {
+    graph::Graph aug = AugmentGraph(g, config, &rng);
+    for (int d = 0; d < aug.node_features.cols(); ++d) {
+      bool all_zero = true;
+      for (int v = 0; v < aug.num_nodes; ++v) {
+        if (aug.node_features.At(v, d) != 0.0) all_zero = false;
+      }
+      if (all_zero) saw_masked_column = true;
+    }
+  }
+  EXPECT_TRUE(saw_masked_column);
+}
+
+TEST(AugmentationTest, PreservesLabelsAndCenter) {
+  graph::Graph g = StarPlusTail();
+  g.label = 1;
+  g.center = 2;
+  AugmentationConfig config;
+  Rng rng(9);
+  graph::Graph aug = AugmentGraph(g, config, &rng);
+  EXPECT_EQ(aug.label, 1);
+  EXPECT_EQ(aug.center, 2);
+  EXPECT_EQ(aug.num_nodes, g.num_nodes);
+}
+
+TEST(ContrastiveTest, IdenticalViewsGiveLowLoss) {
+  Rng rng(11);
+  Matrix z = Matrix::Random(6, 8, &rng);
+  ag::Tensor z1 = ag::Tensor::Constant(z);
+  ag::Tensor z2 = ag::Tensor::Constant(z);
+  const double loss_same = NtXentLoss(z1, z2, 0.2).ScalarValue();
+
+  Matrix other = Matrix::Random(6, 8, &rng);
+  const double loss_diff =
+      NtXentLoss(z1, ag::Tensor::Constant(other), 0.2).ScalarValue();
+  EXPECT_LT(loss_same, loss_diff);
+}
+
+TEST(ContrastiveTest, GradCheck) {
+  Rng rng(13);
+  ag::Tensor z1 = ag::Tensor::Parameter(Matrix::Random(4, 5, &rng));
+  ag::Tensor z2 = ag::Tensor::Parameter(Matrix::Random(4, 5, &rng));
+  auto loss = [&] { return NtXentLoss(z1, z2, 0.5); };
+  auto res = ag::CheckGradients(loss, {z1, z2}, 1e-5, 1e-3);
+  EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(ContrastiveTest, TrainingAlignsViews) {
+  // Minimizing NT-Xent pulls matched rows together in cosine similarity.
+  Rng rng(15);
+  ag::Tensor z1 = ag::Tensor::Parameter(Matrix::Random(4, 6, &rng));
+  ag::Tensor z2 = ag::Tensor::Parameter(Matrix::Random(4, 6, &rng));
+  auto avg_diag_cosine = [&] {
+    Matrix n1 = ag::L2NormalizeRows(z1).value();
+    Matrix n2 = ag::L2NormalizeRows(z2).value();
+    double acc = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      for (int c = 0; c < 6; ++c) acc += n1.At(i, c) * n2.At(i, c);
+    }
+    return acc / 4.0;
+  };
+  const double before = avg_diag_cosine();
+  ag::Adam opt({z1, z2}, 0.05);
+  for (int step = 0; step < 100; ++step) {
+    opt.ZeroGrad();
+    NtXentLoss(z1, z2, 0.5).Backward();
+    opt.Step();
+  }
+  EXPECT_GT(avg_diag_cosine(), before);
+  EXPECT_GT(avg_diag_cosine(), 0.9);
+}
+
+}  // namespace
+}  // namespace augment
+}  // namespace dbg4eth

@@ -1,0 +1,178 @@
+// Edge cases and failure injection: empty inputs, degenerate graphs,
+// invalid configurations, and CHECK-guarded API misuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "augment/augmentation.h"
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "gnn/transformer.h"
+#include "graph/build.h"
+#include "graph/sampling.h"
+#include "ml/gbdt.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace {
+
+TEST(EdgeCaseTest, LedgerWithoutClassYieldsNotFound) {
+  eth::LedgerConfig config;
+  config.num_normal = 300;
+  config.num_mining = 0;
+  config.duration_days = 30.0;
+  eth::LedgerSimulator ledger(config);
+  ASSERT_TRUE(ledger.Generate().ok());
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kMining;
+  auto result = eth::BuildDataset(ledger, ds_config);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EdgeCaseTest, DatasetRejectsInvalidTimeSlices) {
+  eth::LedgerConfig config;
+  config.num_normal = 300;
+  config.duration_days = 30.0;
+  eth::LedgerSimulator ledger(config);
+  ASSERT_TRUE(ledger.Generate().ok());
+  eth::DatasetConfig ds_config;
+  ds_config.target = eth::AccountClass::kExchange;
+  ds_config.num_time_slices = 0;
+  auto result = eth::BuildDataset(ledger, ds_config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeCaseTest, SamplingInactiveAccountIsNotFound) {
+  eth::LedgerConfig config;
+  config.num_normal = 2000;
+  config.normal_activity_mean = 0.5;  // many users never transact
+  config.behavior_noise = 0.0;
+  // No labeled classes: their generators would pull every normal user
+  // into at least one transaction.
+  config.num_exchange = 0;
+  config.num_ico_wallet = 0;
+  config.num_mining = 0;
+  config.num_phish_hack = 0;
+  config.num_bridge = 0;
+  config.num_defi = 0;
+  config.duration_days = 30.0;
+  config.seed = 4;
+  eth::LedgerSimulator ledger(config);
+  ASSERT_TRUE(ledger.Generate().ok());
+  // Find a user with no transactions.
+  eth::AccountId idle = -1;
+  for (eth::AccountId id = 1; id <= 2000; ++id) {
+    if (ledger.TransactionsOf(id).empty()) {
+      idle = id;
+      break;
+    }
+  }
+  ASSERT_NE(idle, -1);
+  auto result = graph::SampleSubgraph(ledger, idle, graph::SamplingConfig{});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EdgeCaseTest, SingleTransactionSubgraph) {
+  eth::TxSubgraph sub;
+  sub.nodes = {5, 6};
+  sub.is_contract = {false, false};
+  eth::LocalTransaction tx;
+  tx.src = 0;
+  tx.dst = 1;
+  tx.value = 1.0;
+  tx.timestamp = 100.0;
+  sub.txs.push_back(tx);
+
+  graph::Graph gsg = graph::BuildGlobalStaticGraph(sub);
+  EXPECT_EQ(gsg.num_edges(), 1);
+  auto slices = graph::BuildLocalDynamicGraphs(sub, 10);
+  int nonempty = 0;
+  for (const auto& s : slices) nonempty += s.num_edges() > 0 ? 1 : 0;
+  EXPECT_EQ(nonempty, 1);  // degenerate span lands in slice 0
+  EXPECT_EQ(slices[0].num_edges(), 1);
+}
+
+TEST(EdgeCaseTest, AugmentGraphWithNoEdges) {
+  graph::Graph g;
+  g.num_nodes = 4;
+  g.node_features = Matrix::Ones(4, 3);
+  augment::AugmentationConfig config;
+  Rng rng(1);
+  graph::Graph out = augment::AugmentGraph(g, config, &rng);
+  EXPECT_EQ(out.num_edges(), 0);
+  EXPECT_EQ(out.num_nodes, 4);
+}
+
+TEST(EdgeCaseTest, AugmentNeverEmptiesGraph) {
+  graph::Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {1, 2}};
+  g.edge_features = Matrix::Ones(2, 2);
+  g.node_features = Matrix::Ones(3, 2);
+  augment::AugmentationConfig config;
+  config.edge_drop_prob = 1.0;  // shaped per-edge, clamped at max_prob
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::Graph out = augment::AugmentGraph(g, config, &rng);
+    EXPECT_GE(out.num_edges(), 1);
+  }
+}
+
+TEST(EdgeCaseTest, GbdtOnConstantFeatures) {
+  Matrix x(20, 2);  // all zeros
+  std::vector<int> y(20);
+  for (int i = 0; i < 20; ++i) y[i] = i % 2;
+  ml::GbdtClassifier model;
+  ASSERT_TRUE(model.Train(x, y).ok());
+  double row[2] = {0.0, 0.0};
+  EXPECT_NEAR(model.PredictProba(row), 0.5, 0.01);
+}
+
+TEST(EdgeCaseTest, GbdtSingleClassLabels) {
+  Rng rng(5);
+  Matrix x = Matrix::Random(20, 2, &rng);
+  std::vector<int> y(20, 1);
+  ml::GbdtClassifier model;
+  ASSERT_TRUE(model.Train(x, y).ok());
+  EXPECT_GT(model.PredictProba(x.RowPtr(0)), 0.9);
+}
+
+TEST(EdgeCaseTest, SequenceEncoderLengthOne) {
+  Rng rng(6);
+  gnn::SequenceEncoder encoder(4, 8, 1, 2, 2, &rng);
+  ag::Tensor seq = ag::Tensor::Constant(Matrix::Ones(1, 4));
+  ag::Tensor logits = encoder.Forward(seq);
+  EXPECT_EQ(logits.rows(), 1);
+  EXPECT_EQ(logits.cols(), 2);
+  EXPECT_TRUE(logits.value().AllFinite());
+}
+
+TEST(EdgeCaseTest, MaxPoolSingleRow) {
+  ag::Tensor x = ag::Tensor::Parameter(Matrix::FromFlat(1, 3, {1, 2, 3}));
+  ag::Tensor pooled = ag::MaxPoolRows(x);
+  EXPECT_TRUE(AlmostEqual(pooled.value(), x.value()));
+  ag::SumAll(pooled).Backward();
+  EXPECT_TRUE(AlmostEqual(x.grad(), Matrix::Ones(1, 3)));
+}
+
+TEST(EdgeCaseDeathTest, BothBranchesDisabledAborts) {
+  core::Dbg4EthConfig config;
+  config.use_gsg = false;
+  config.use_ldg = false;
+  EXPECT_DEATH({ core::Dbg4Eth model(config); }, "at least one branch");
+}
+
+TEST(EdgeCaseDeathTest, BackwardOnNonScalarAborts) {
+  ag::Tensor x = ag::Tensor::Parameter(Matrix::Ones(2, 2));
+  EXPECT_DEATH(x.Backward(), "scalar");
+}
+
+TEST(EdgeCaseDeathTest, MatMulShapeMismatchAborts) {
+  Matrix a = Matrix::Ones(2, 3);
+  Matrix b = Matrix::Ones(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace dbg4eth

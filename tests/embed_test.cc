@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "embed/graph_embedding.h"
+#include "embed/random_walk.h"
+#include "embed/skipgram.h"
+
+namespace dbg4eth {
+namespace embed {
+namespace {
+
+graph::Graph TwoCliques() {
+  // Nodes 0-3 form a clique, 4-7 form a clique, bridge 3-4.
+  graph::Graph g;
+  g.num_nodes = 8;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) g.edges.push_back({a, b});
+  }
+  for (int a = 4; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) g.edges.push_back({a, b});
+  }
+  g.edges.push_back({3, 4});
+  return g;
+}
+
+TEST(RandomWalkTest, UniformWalksShapeAndValidity) {
+  graph::Graph g = TwoCliques();
+  Rng rng(1);
+  auto walks = UniformWalks(g, 3, 10, &rng);
+  EXPECT_EQ(walks.size(), 8u * 3u);
+  auto nbrs_ok = [&](int a, int b) {
+    for (const auto& e : g.edges) {
+      if ((e.src == a && e.dst == b) || (e.src == b && e.dst == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& walk : walks) {
+    EXPECT_EQ(walk.size(), 10u);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(nbrs_ok(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(RandomWalkTest, IsolatedNodesProduceNoWalks) {
+  graph::Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}};
+  Rng rng(2);
+  auto walks = UniformWalks(g, 2, 5, &rng);
+  EXPECT_EQ(walks.size(), 4u);  // only nodes 0 and 1 start walks
+  for (const auto& walk : walks) {
+    for (int node : walk) EXPECT_NE(node, 2);
+  }
+}
+
+TEST(RandomWalkTest, Node2VecLowQExplores) {
+  // q << 1 favors outward moves (DFS-like): walks should cross the bridge
+  // more often than with q >> 1.
+  graph::Graph g = TwoCliques();
+  auto crossing_rate = [&](double p, double q, uint64_t seed) {
+    Rng rng(seed);
+    auto walks = Node2VecWalks(g, 10, 12, p, q, &rng);
+    int crossed = 0;
+    for (const auto& walk : walks) {
+      if (walk.front() > 3) continue;  // start from the left clique only
+      bool reaches_right = false;
+      for (int node : walk) {
+        if (node > 4) reaches_right = true;
+      }
+      crossed += reaches_right;
+    }
+    return crossed;
+  };
+  EXPECT_GT(crossing_rate(1.0, 0.2, 42), crossing_rate(1.0, 5.0, 42));
+}
+
+TEST(RandomWalkTest, Trans2VecFollowsHighAmountEdges) {
+  // Star where one edge carries far more value: alpha=1 walks should visit
+  // the heavy neighbor much more often than a light one.
+  eth::TxSubgraph sub;
+  sub.nodes = {0, 1, 2, 3};
+  sub.is_contract = {false, false, false, false};
+  auto add = [&](int s, int d, double v, double t) {
+    eth::LocalTransaction tx;
+    tx.src = s;
+    tx.dst = d;
+    tx.value = v;
+    tx.timestamp = t;
+    sub.txs.push_back(tx);
+  };
+  add(0, 1, 100.0, 10.0);
+  add(0, 2, 1.0, 10.0);
+  add(0, 3, 1.0, 10.0);
+  Rng rng(7);
+  auto walks = Trans2VecWalks(sub, 50, 2, /*alpha=*/1.0, &rng);
+  int heavy = 0, light = 0;
+  for (const auto& walk : walks) {
+    if (walk.front() != 0 || walk.size() < 2) continue;
+    if (walk[1] == 1) ++heavy;
+    if (walk[1] == 2 || walk[1] == 3) ++light;
+  }
+  EXPECT_GT(heavy, 5 * std::max(light, 1));
+}
+
+TEST(SkipGramTest, CliqueMembersEmbedCloser) {
+  graph::Graph g = TwoCliques();
+  Rng rng(3);
+  auto walks = UniformWalks(g, 20, 12, &rng);
+  SkipGramConfig config;
+  config.embedding_dim = 16;
+  config.epochs = 3;
+  SkipGram model(8, config, &rng);
+  model.Train(walks, &rng);
+  const Matrix& emb = model.embeddings();
+
+  auto cosine = [&](int a, int b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int c = 0; c < emb.cols(); ++c) {
+      dot += emb.At(a, c) * emb.At(b, c);
+      na += emb.At(a, c) * emb.At(a, c);
+      nb += emb.At(b, c) * emb.At(b, c);
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  // Same-clique pairs closer than cross-clique pairs on average.
+  const double same = (cosine(0, 1) + cosine(1, 2) + cosine(5, 6)) / 3.0;
+  const double cross = (cosine(0, 5) + cosine(1, 6) + cosine(2, 7)) / 3.0;
+  EXPECT_GT(same, cross);
+}
+
+TEST(GraphEmbeddingTest, ProducesFixedDimVector) {
+  graph::Graph g = TwoCliques();
+  eth::TxSubgraph sub;
+  sub.nodes.resize(8);
+  Rng rng(4);
+  GraphEmbeddingConfig config;
+  config.skipgram.embedding_dim = 12;
+  config.walks_per_node = 4;
+  config.skipgram.epochs = 1;
+  for (WalkKind kind :
+       {WalkKind::kDeepWalk, WalkKind::kNode2Vec}) {
+    config.kind = kind;
+    auto vec = GraphEmbedding(g, sub, config, &rng);
+    EXPECT_EQ(static_cast<int>(vec.size()), GraphEmbeddingDim(config));
+  }
+}
+
+TEST(GraphEmbeddingTest, DeterministicUnderSeed) {
+  graph::Graph g = TwoCliques();
+  eth::TxSubgraph sub;
+  GraphEmbeddingConfig config;
+  config.skipgram.embedding_dim = 8;
+  config.walks_per_node = 2;
+  config.skipgram.epochs = 1;
+  Rng rng1(99), rng2(99);
+  auto v1 = GraphEmbedding(g, sub, config, &rng1);
+  auto v2 = GraphEmbedding(g, sub, config, &rng2);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace embed
+}  // namespace dbg4eth

@@ -1,0 +1,161 @@
+// Unit behaviour of the two branch encoders beyond the end-to-end pipeline
+// tests: input construction, determinism, dropout, slice weighting, and
+// structural sensitivity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gsg_encoder.h"
+#include "core/ldg_encoder.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace core {
+namespace {
+
+graph::Graph SmallGraph(int label = 1) {
+  graph::Graph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  g.edge_features = Matrix::FromFlat(4, 2, {10, 2, 5, 1, 2, 1, 7, 3});
+  Rng rng(7);
+  g.node_features = Matrix::Random(4, 15, &rng);
+  g.label = label;
+  return g;
+}
+
+std::vector<graph::Graph> SmallSlices(int t) {
+  std::vector<graph::Graph> slices;
+  graph::Graph base = SmallGraph();
+  for (int k = 0; k < t; ++k) {
+    graph::Graph slice;
+    slice.num_nodes = base.num_nodes;
+    slice.node_features = base.node_features;
+    if (k % 2 == 0) {
+      slice.edges = {{0, 1}, {1, 2}};
+      slice.edge_features = Matrix::FromFlat(2, 1, {3.0, 1.0});
+    }
+    slices.push_back(slice);
+  }
+  return slices;
+}
+
+TEST(GsgEncoderUnitTest, NodeInputAggregatesIncidentEdges) {
+  graph::Graph g = SmallGraph();
+  Matrix input = GsgEncoder::BuildNodeInput(g);
+  ASSERT_EQ(input.cols(), 17);
+  // Node 0 touches edges (0,1) w=10,t=2 and (0,3) w=7,t=3.
+  EXPECT_NEAR(input.At(0, 15), std::log1p(17.0), 1e-12);
+  EXPECT_NEAR(input.At(0, 16), std::log1p(5.0), 1e-12);
+  // Node 2 touches (1,2) w=5,t=1 and (2,3) w=2,t=1.
+  EXPECT_NEAR(input.At(2, 15), std::log1p(7.0), 1e-12);
+  EXPECT_NEAR(input.At(2, 16), std::log1p(2.0), 1e-12);
+  // Feature channels pass through unchanged.
+  EXPECT_DOUBLE_EQ(input.At(1, 3), g.node_features.At(1, 3));
+}
+
+TEST(GsgEncoderUnitTest, EvalModeIsDeterministic) {
+  GsgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.dropout = 0.5;
+  GsgEncoder encoder(config);
+  graph::Graph g = SmallGraph();
+  const double s1 = encoder.PredictScore(g);
+  const double s2 = encoder.PredictScore(g);
+  EXPECT_DOUBLE_EQ(s1, s2);  // dropout must be off at inference
+}
+
+TEST(GsgEncoderUnitTest, ScoreDependsOnTopology) {
+  GsgEncoderConfig config;
+  config.hidden_dim = 8;
+  GsgEncoder encoder(config);
+  graph::Graph g = SmallGraph();
+  graph::Graph rewired = g;
+  rewired.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}};
+  EXPECT_NE(encoder.PredictScore(g), encoder.PredictScore(rewired));
+}
+
+TEST(GsgEncoderUnitTest, SameSeedSameParameters) {
+  GsgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.seed = 123;
+  GsgEncoder a(config), b(config);
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(AlmostEqual(pa[i].value(), pb[i].value(), 0.0));
+  }
+}
+
+TEST(GsgEncoderUnitTest, ParameterCountMatchesArchitecture) {
+  GsgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.num_gat_layers = 2;
+  GsgEncoder encoder(config);
+  // align(W+b) + 2 GAT layers x 2 heads x (W, a_src, a_dst)
+  // + readout(score W+b, proj W+b) + head(W+b).
+  EXPECT_EQ(encoder.Parameters().size(),
+            2u + 2u * 2u * 3u + 4u + 2u);
+}
+
+TEST(LdgEncoderUnitTest, SliceCountEnforced) {
+  LdgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.num_time_slices = 4;
+  config.first_level_clusters = 2;
+  LdgEncoder encoder(config);
+  auto slices = SmallSlices(4);
+  EXPECT_TRUE(std::isfinite(encoder.PredictScore(slices)));
+}
+
+TEST(LdgEncoderUnitTest, EmptySlicesAreHandled) {
+  // Alternate slices have no edges at all; the weighted adjacency reduces
+  // to self-loops and the GRU still evolves the state.
+  LdgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.num_time_slices = 6;
+  config.first_level_clusters = 2;
+  LdgEncoder encoder(config);
+  auto slices = SmallSlices(6);
+  const double score = encoder.PredictScore(slices);
+  EXPECT_TRUE(std::isfinite(score));
+}
+
+TEST(LdgEncoderUnitTest, TemporalOrderMatters) {
+  // Reversing the slice order must change the embedding: the GRU carries
+  // state forward in time (the paper's challenge (i)).
+  LdgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.num_time_slices = 4;
+  config.first_level_clusters = 2;
+  LdgEncoder encoder(config);
+  auto forward = SmallSlices(4);
+  // Make the slices asymmetric in time.
+  forward[0].edge_features.ScaleInPlace(10.0);
+  auto reversed = forward;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NE(encoder.PredictScore(forward), encoder.PredictScore(reversed));
+}
+
+TEST(LdgEncoderUnitTest, PoolingDepthBounds) {
+  LdgEncoderConfig config;
+  config.num_pooling_layers = 4;  // paper caps at 3
+  EXPECT_DEATH({ LdgEncoder encoder(config); }, "Check failed");
+}
+
+TEST(LdgEncoderUnitTest, SameSeedSameScore) {
+  LdgEncoderConfig config;
+  config.hidden_dim = 8;
+  config.num_time_slices = 3;
+  config.first_level_clusters = 2;
+  config.seed = 77;
+  LdgEncoder a(config), b(config);
+  auto slices = SmallSlices(3);
+  EXPECT_DOUBLE_EQ(a.PredictScore(slices), b.PredictScore(slices));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dbg4eth

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/analysis.h"
+#include "features/node_features.h"
+
+namespace dbg4eth {
+namespace features {
+namespace {
+
+eth::TxSubgraph MakeSubgraph() {
+  eth::TxSubgraph sub;
+  sub.nodes = {10, 20, 30};
+  sub.is_contract = {false, false, true};
+  sub.center_index = 0;
+  auto add = [&](int s, int d, double v, double t, double gas_price,
+                 double gas_used, bool contract) {
+    eth::LocalTransaction tx;
+    tx.src = s;
+    tx.dst = d;
+    tx.value = v;
+    tx.timestamp = t;
+    tx.gas_price = gas_price;
+    tx.gas_used = gas_used;
+    tx.is_contract_call = contract;
+    sub.txs.push_back(tx);
+  };
+  // Node 0 sends three txs at t = 0, 100, 400.
+  add(0, 1, 1.0, 0.0, 2e10, 21000, false);
+  add(0, 1, 3.0, 100.0, 2e10, 21000, false);
+  add(0, 2, 2.0, 400.0, 1e10, 100000, true);
+  // Node 1 sends one back.
+  add(1, 0, 5.0, 200.0, 2e10, 21000, false);
+  return sub;
+}
+
+TEST(NodeFeaturesTest, TableIOrderAndNames) {
+  EXPECT_EQ(kFeatureDim, 15);
+  const auto& names = FeatureNames();
+  EXPECT_EQ(names[kNts], "NTS");
+  EXPECT_EQ(names[kMaxSti], "max_STI");
+  EXPECT_EQ(names[kNc], "NC");
+}
+
+TEST(NodeFeaturesTest, CategoriesPartitionFeatures) {
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kFeatureDim; ++i) {
+    ++counts[static_cast<int>(CategoryOf(i))];
+  }
+  EXPECT_EQ(counts[0], 5);  // sender
+  EXPECT_EQ(counts[1], 5);  // receiver
+  EXPECT_EQ(counts[2], 4);  // fee
+  EXPECT_EQ(counts[3], 1);  // contract
+}
+
+TEST(NodeFeaturesTest, SenderFeatures) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  ASSERT_EQ(f.rows(), 3);
+  ASSERT_EQ(f.cols(), 15);
+  EXPECT_DOUBLE_EQ(f.At(0, kNts), 3.0);
+  EXPECT_DOUBLE_EQ(f.At(0, kStv), 6.0);
+  EXPECT_DOUBLE_EQ(f.At(0, kSav), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(0, kMinSti), 100.0);
+  EXPECT_DOUBLE_EQ(f.At(0, kMaxSti), 300.0);
+}
+
+TEST(NodeFeaturesTest, ReceiverFeatures) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  EXPECT_DOUBLE_EQ(f.At(1, kNtr), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(1, kRtv), 4.0);
+  EXPECT_DOUBLE_EQ(f.At(1, kRav), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(1, kMinRti), 100.0);
+  EXPECT_DOUBLE_EQ(f.At(1, kMaxRti), 100.0);
+  // Node 0 received one tx: no intervals.
+  EXPECT_DOUBLE_EQ(f.At(0, kMinRti), 0.0);
+  EXPECT_DOUBLE_EQ(f.At(0, kMaxRti), 0.0);
+}
+
+TEST(NodeFeaturesTest, FeeFeaturesEq5) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  // Node 0 fees: 2 * (2e10*21000) + 1 * (1e10*100000), in ETH (1e-18).
+  const double expected =
+      (2.0 * 2e10 * 21000.0 + 1e10 * 100000.0) * 1e-18;
+  EXPECT_NEAR(f.At(0, kSetf), expected, 1e-15);
+  EXPECT_NEAR(f.At(0, kSaetf), expected / 3.0, 1e-15);
+  // Node 1 as receiver of two txs with fee 2e10*21000 each.
+  EXPECT_NEAR(f.At(1, kRetf), 2.0 * 2e10 * 21000.0 * 1e-18, 1e-15);
+}
+
+TEST(NodeFeaturesTest, ContractCallCount) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  // One contract call involves nodes 0 and 2.
+  EXPECT_DOUBLE_EQ(f.At(0, kNc), 1.0);
+  EXPECT_DOUBLE_EQ(f.At(2, kNc), 1.0);
+  EXPECT_DOUBLE_EQ(f.At(1, kNc), 0.0);
+}
+
+TEST(NodeFeaturesTest, EmptySubgraphIsZero) {
+  eth::TxSubgraph sub;
+  sub.nodes = {1, 2};
+  sub.is_contract = {false, false};
+  Matrix f = ComputeNodeFeatures(sub);
+  EXPECT_DOUBLE_EQ(f.Sum(), 0.0);
+}
+
+TEST(NodeFeaturesTest, LogScaleMonotonicNonNegative) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  Matrix scaled = LogScaleFeatures(f);
+  for (int r = 0; r < f.rows(); ++r) {
+    for (int c = 0; c < f.cols(); ++c) {
+      EXPECT_GE(scaled.At(r, c), 0.0);
+      EXPECT_NEAR(scaled.At(r, c), std::log1p(f.At(r, c)), 1e-12);
+    }
+  }
+}
+
+TEST(NormalizerTest, ZeroMeanUnitVariance) {
+  Matrix a = Matrix::FromFlat(2, 2, {1, 10, 3, 20});
+  Matrix b = Matrix::FromFlat(2, 2, {5, 30, 7, 40});
+  FeatureNormalizer norm;
+  norm.Fit({&a, &b});
+  ASSERT_TRUE(norm.fitted());
+  EXPECT_DOUBLE_EQ(norm.means()[0], 4.0);
+  EXPECT_DOUBLE_EQ(norm.means()[1], 25.0);
+
+  Matrix na = norm.Apply(a);
+  Matrix nb = norm.Apply(b);
+  // Recompute mean/std of transformed data: should be ~0 / ~1.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0;
+    for (int r = 0; r < 2; ++r) mean += na.At(r, c) + nb.At(r, c);
+    mean /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    double var = 0;
+    for (int r = 0; r < 2; ++r) {
+      var += na.At(r, c) * na.At(r, c) + nb.At(r, c) * nb.At(r, c);
+    }
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizerTest, ConstantColumnPassesThroughCentered) {
+  Matrix a = Matrix::FromFlat(3, 1, {7, 7, 7});
+  FeatureNormalizer norm;
+  norm.Fit({&a});
+  Matrix out = norm.Apply(a);
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(out.At(r, 0), 0.0);
+}
+
+TEST(AnalysisTest, CorrelationMatrixProperties) {
+  // Build two feature matrices with a known perfect correlation between
+  // dims 0 and 1 and anti-correlation between 0 and 2.
+  Matrix a(4, kFeatureDim);
+  for (int r = 0; r < 4; ++r) {
+    a.At(r, 0) = r;
+    a.At(r, 1) = 2.0 * r;
+    a.At(r, 2) = -3.0 * r;
+  }
+  Matrix corr = FeatureCorrelationMatrix({&a});
+  ASSERT_EQ(corr.rows(), kFeatureDim);
+  for (int i = 0; i < kFeatureDim; ++i) {
+    EXPECT_DOUBLE_EQ(corr.At(i, i), 1.0);
+    for (int j = 0; j < kFeatureDim; ++j) {
+      EXPECT_NEAR(corr.At(i, j), corr.At(j, i), 1e-12);
+      EXPECT_LE(std::fabs(corr.At(i, j)), 1.0 + 1e-12);
+    }
+  }
+  EXPECT_NEAR(corr.At(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(corr.At(0, 2), -1.0, 1e-12);
+  // Constant dims have zero correlation with everything.
+  EXPECT_DOUBLE_EQ(corr.At(0, 5), 0.0);
+}
+
+TEST(AnalysisTest, CategoryFeaturesInUnitRange) {
+  Matrix f = ComputeNodeFeatures(MakeSubgraph());
+  auto cats = ComputeCategoryFeatures({&f});
+  ASSERT_EQ(cats.size(), 3u);
+  for (const auto& c : cats) {
+    EXPECT_GE(c.saf, 0.0);
+    EXPECT_LE(c.saf, 1.0);
+    EXPECT_GE(c.raf, 0.0);
+    EXPECT_LE(c.raf, 1.0);
+    EXPECT_GE(c.tff, 0.0);
+    EXPECT_LE(c.tff, 1.0);
+    EXPECT_GE(c.cf, 0.0);
+    EXPECT_LE(c.cf, 1.0);
+  }
+  // Node 0 is the dominant sender -> highest SAF.
+  EXPECT_GT(cats[0].saf, cats[1].saf);
+  EXPECT_GT(cats[0].saf, cats[2].saf);
+}
+
+}  // namespace
+}  // namespace features
+}  // namespace dbg4eth

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/multiclass.h"
+#include "eth/ledger.h"
+
+namespace dbg4eth {
+namespace core {
+namespace {
+
+class MultiClassTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eth::LedgerConfig config;
+    config.num_normal = 700;
+    config.num_exchange = 14;
+    config.num_ico_wallet = 10;
+    config.num_mining = 10;
+    config.num_phish_hack = 14;
+    config.num_bridge = 10;
+    config.num_defi = 10;
+    config.duration_days = 120.0;
+    config.seed = 55;
+    ledger_ = new eth::LedgerSimulator(config);
+    ASSERT_TRUE(ledger_->Generate().ok());
+  }
+  static void TearDownTestSuite() {
+    delete ledger_;
+    ledger_ = nullptr;
+  }
+
+  static MultiClassIdentifier::Config TinyConfig() {
+    MultiClassIdentifier::Config config;
+    config.classes = {eth::AccountClass::kExchange,
+                      eth::AccountClass::kMining};
+    config.model.gsg.hidden_dim = 12;
+    config.model.gsg.epochs = 4;
+    config.model.ldg.hidden_dim = 12;
+    config.model.ldg.epochs = 3;
+    config.model.ldg.first_level_clusters = 4;
+    config.model.gbdt.num_trees = 10;
+    config.dataset.max_positives = 10;
+    config.dataset.sampling.top_k = 5;
+    config.dataset.sampling.max_nodes = 40;
+    config.dataset.num_time_slices = 4;
+    return config;
+  }
+
+  static eth::LedgerSimulator* ledger_;
+};
+
+eth::LedgerSimulator* MultiClassTest::ledger_ = nullptr;
+
+TEST_F(MultiClassTest, RequiresTraining) {
+  MultiClassIdentifier identifier(TinyConfig());
+  EXPECT_FALSE(identifier.trained());
+  auto result = identifier.ClassProbabilities(*ledger_, 1);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MultiClassTest, IdentifiesKnownAccounts) {
+  MultiClassIdentifier identifier(TinyConfig());
+  ASSERT_TRUE(identifier.Train(*ledger_).ok());
+  ASSERT_TRUE(identifier.trained());
+
+  // A mining account should be recognized as mining, not exchange.
+  const auto miners = ledger_->AccountsOfClass(eth::AccountClass::kMining);
+  int correct = 0;
+  int total = 0;
+  for (size_t i = 0; i < 4 && i < miners.size(); ++i) {
+    auto cls = identifier.Identify(*ledger_, miners[i]);
+    ASSERT_TRUE(cls.ok());
+    ++total;
+    correct += cls.ValueOrDie() == eth::AccountClass::kMining ? 1 : 0;
+  }
+  EXPECT_GE(correct, total - 1);  // allow one miss at tiny scale
+
+  // Probabilities are parallel to the configured classes and valid.
+  auto probs = identifier.ClassProbabilities(*ledger_, miners[0]);
+  ASSERT_TRUE(probs.ok());
+  ASSERT_EQ(probs.ValueOrDie().size(), 2u);
+  for (double p : probs.ValueOrDie()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(MultiClassTest, UnremarkableAccountIsNormal) {
+  MultiClassIdentifier::Config config = TinyConfig();
+  config.decision_threshold = 0.9;  // strict
+  MultiClassIdentifier identifier(config);
+  ASSERT_TRUE(identifier.Train(*ledger_).ok());
+  // The least active (but non-empty) normal user should fall below the
+  // strict threshold.
+  eth::AccountId quiet = -1;
+  size_t fewest = SIZE_MAX;
+  for (eth::AccountId id = 1; id < 700; ++id) {
+    const size_t n = ledger_->TransactionsOf(id).size();
+    if (n >= 4 && n < fewest) {
+      quiet = id;
+      fewest = n;
+    }
+  }
+  ASSERT_NE(quiet, -1);
+  auto cls = identifier.Identify(*ledger_, quiet);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls.ValueOrDie(), eth::AccountClass::kNormal);
+}
+
+TEST_F(MultiClassTest, TrainFailsForAbsentClass) {
+  MultiClassIdentifier::Config config = TinyConfig();
+  config.classes = {eth::AccountClass::kExchange};
+  // Ledger without exchanges.
+  eth::LedgerConfig lc;
+  lc.num_normal = 200;
+  lc.num_exchange = 0;
+  lc.duration_days = 30.0;
+  eth::LedgerSimulator empty(lc);
+  ASSERT_TRUE(empty.Generate().ok());
+  MultiClassIdentifier identifier(config);
+  EXPECT_FALSE(identifier.Train(empty).ok());
+  EXPECT_FALSE(identifier.trained());
+}
+
+TEST(CrossValidateTest, FoldsAverageAndValidate) {
+  eth::LedgerConfig lc;
+  lc.num_normal = 600;
+  lc.num_exchange = 16;
+  lc.duration_days = 90.0;
+  lc.seed = 66;
+  eth::LedgerSimulator ledger(lc);
+  ASSERT_TRUE(ledger.Generate().ok());
+  eth::DatasetConfig dc;
+  dc.target = eth::AccountClass::kExchange;
+  dc.max_positives = 14;
+  dc.sampling.top_k = 5;
+  dc.sampling.max_nodes = 40;
+  dc.num_time_slices = 4;
+  auto ds = std::move(eth::BuildDataset(ledger, dc)).ValueOrDie();
+
+  Dbg4EthConfig config;
+  config.gsg.hidden_dim = 12;
+  config.gsg.epochs = 3;
+  config.ldg.hidden_dim = 12;
+  config.ldg.epochs = 2;
+  config.ldg.first_level_clusters = 4;
+  config.gbdt.num_trees = 10;
+
+  auto cv = CrossValidate(config, ds, /*num_folds=*/3, /*seed=*/9);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const CrossValidationResult& result = cv.ValueOrDie();
+  ASSERT_EQ(result.folds.size(), 3u);
+  // Every instance appears in exactly one fold's test set.
+  size_t total_test = 0;
+  for (const auto& fold : result.folds) total_test += fold.test_labels.size();
+  EXPECT_EQ(total_test, static_cast<size_t>(ds.num_graphs()));
+  EXPECT_GE(result.mean.f1, 0.0);
+  EXPECT_LE(result.mean.f1, 1.0);
+  EXPECT_GE(result.f1_stddev, 0.0);
+
+  // Error paths.
+  EXPECT_FALSE(CrossValidate(config, ds, 1, 9).ok());
+  EXPECT_FALSE(CrossValidate(config, ds, 50, 9).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dbg4eth

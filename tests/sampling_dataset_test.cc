@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "graph/sampling.h"
+
+namespace dbg4eth {
+namespace {
+
+eth::LedgerConfig TestLedgerConfig() {
+  eth::LedgerConfig config;
+  config.num_normal = 600;
+  config.num_exchange = 8;
+  config.num_ico_wallet = 8;
+  config.num_mining = 6;
+  config.num_phish_hack = 10;
+  config.num_bridge = 6;
+  config.num_defi = 6;
+  config.duration_days = 90.0;
+  config.seed = 321;
+  return config;
+}
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ledger_ = new eth::LedgerSimulator(TestLedgerConfig());
+    ASSERT_TRUE(ledger_->Generate().ok());
+  }
+  static void TearDownTestSuite() {
+    delete ledger_;
+    ledger_ = nullptr;
+  }
+  static eth::LedgerSimulator* ledger_;
+};
+
+eth::LedgerSimulator* SamplingTest::ledger_ = nullptr;
+
+TEST_F(SamplingTest, RejectsBadConfig) {
+  graph::SamplingConfig bad;
+  bad.top_k = 0;
+  auto r = graph::SampleSubgraph(*ledger_, 1, bad);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  graph::SamplingConfig ok;
+  auto r2 = graph::SampleSubgraph(*ledger_, -5, ok);
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SamplingTest, CenterIsFirstNode) {
+  const auto exchanges = ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  graph::SamplingConfig config;
+  auto r = graph::SampleSubgraph(*ledger_, exchanges[0], config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const eth::TxSubgraph& sub = r.ValueOrDie();
+  EXPECT_EQ(sub.center_index, 0);
+  EXPECT_EQ(sub.nodes[0], exchanges[0]);
+  EXPECT_EQ(sub.center_class, eth::AccountClass::kExchange);
+}
+
+TEST_F(SamplingTest, NodesAreUniqueAndTxsLocal) {
+  const auto exchanges = ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  graph::SamplingConfig config;
+  config.top_k = 8;
+  auto sub = graph::SampleSubgraph(*ledger_, exchanges[1], config).ValueOrDie();
+  std::unordered_set<eth::AccountId> unique(sub.nodes.begin(),
+                                            sub.nodes.end());
+  EXPECT_EQ(unique.size(), sub.nodes.size());
+  ASSERT_EQ(sub.is_contract.size(), sub.nodes.size());
+  for (const auto& tx : sub.txs) {
+    EXPECT_GE(tx.src, 0);
+    EXPECT_LT(tx.src, sub.num_nodes());
+    EXPECT_GE(tx.dst, 0);
+    EXPECT_LT(tx.dst, sub.num_nodes());
+  }
+  // Transactions sorted by timestamp.
+  for (size_t i = 1; i < sub.txs.size(); ++i) {
+    EXPECT_LE(sub.txs[i - 1].timestamp, sub.txs[i].timestamp);
+  }
+}
+
+TEST_F(SamplingTest, RespectsMaxNodes) {
+  const auto exchanges = ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  graph::SamplingConfig config;
+  config.top_k = 50;
+  config.max_nodes = 30;
+  auto sub = graph::SampleSubgraph(*ledger_, exchanges[0], config).ValueOrDie();
+  EXPECT_LE(sub.num_nodes(), 30);
+}
+
+TEST_F(SamplingTest, TopKLimitsGrowth) {
+  const auto exchanges = ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  graph::SamplingConfig small;
+  small.top_k = 3;
+  graph::SamplingConfig big;
+  big.top_k = 15;
+  auto sub_small =
+      graph::SampleSubgraph(*ledger_, exchanges[2], small).ValueOrDie();
+  auto sub_big =
+      graph::SampleSubgraph(*ledger_, exchanges[2], big).ValueOrDie();
+  EXPECT_LT(sub_small.num_nodes(), sub_big.num_nodes());
+  // 2 hops, K=3: at most 1 + 3 + 9 nodes.
+  EXPECT_LE(sub_small.num_nodes(), 13);
+}
+
+TEST_F(SamplingTest, HighValuePeersPreferred) {
+  // The top-1 sampled neighbor of a center must be its max-average-value
+  // counterparty.
+  const auto miners = ledger_->AccountsOfClass(eth::AccountClass::kMining);
+  graph::SamplingConfig config;
+  config.hops = 1;
+  config.top_k = 1;
+  auto sub = graph::SampleSubgraph(*ledger_, miners[0], config).ValueOrDie();
+  ASSERT_EQ(sub.num_nodes(), 2);
+
+  // Recompute best average by brute force.
+  std::unordered_map<eth::AccountId, std::pair<double, int>> agg;
+  for (int idx : ledger_->TransactionsOf(miners[0])) {
+    const auto& tx = ledger_->transactions()[idx];
+    const eth::AccountId peer = tx.from == miners[0] ? tx.to : tx.from;
+    if (peer == miners[0]) continue;
+    agg[peer].first += tx.value;
+    agg[peer].second += 1;
+  }
+  double best_avg = -1.0;
+  for (const auto& [peer, stats] : agg) {
+    best_avg = std::max(best_avg, stats.first / stats.second);
+  }
+  const eth::AccountId chosen = sub.nodes[1];
+  EXPECT_NEAR(agg[chosen].first / agg[chosen].second, best_avg, 1e-9);
+}
+
+class DatasetTest : public SamplingTest {};
+
+TEST_F(DatasetTest, BuildBinaryDataset) {
+  eth::DatasetConfig config;
+  config.target = eth::AccountClass::kPhishHack;
+  config.max_positives = 6;
+  config.num_time_slices = 5;
+  config.sampling.top_k = 6;
+  auto result = eth::BuildDataset(*ledger_, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& ds = result.ValueOrDie();
+  EXPECT_EQ(ds.target, eth::AccountClass::kPhishHack);
+  EXPECT_GT(ds.num_positives(), 0);
+  EXPECT_LE(ds.num_positives(), 6);
+  // Roughly balanced.
+  EXPECT_NEAR(ds.num_positives(), ds.num_graphs() - ds.num_positives(), 2);
+  EXPECT_GT(ds.avg_nodes(), 3.0);
+  EXPECT_GT(ds.avg_edges(), 2.0);
+}
+
+TEST_F(DatasetTest, InstancesCarryBothGraphViews) {
+  eth::DatasetConfig config;
+  config.target = eth::AccountClass::kBridge;
+  config.max_positives = 4;
+  config.num_time_slices = 4;
+  config.sampling.top_k = 5;
+  auto ds = eth::BuildDataset(*ledger_, config).ValueOrDie();
+  for (const auto& inst : ds.instances) {
+    EXPECT_EQ(inst.ldg.size(), 4u);
+    EXPECT_EQ(inst.gsg.node_features.rows(), inst.subgraph.num_nodes());
+    EXPECT_EQ(inst.gsg.node_features.cols(), 15);
+    EXPECT_EQ(inst.gsg.edge_features.cols(), 2);
+    int ldg_edges = 0;
+    for (const auto& slice : inst.ldg) {
+      EXPECT_EQ(slice.num_nodes, inst.gsg.num_nodes);
+      if (slice.num_edges() > 0) {
+        EXPECT_EQ(slice.edge_features.cols(), 1);
+      }
+      ldg_edges += slice.num_edges();
+    }
+    // Slicing can only split merged edges further.
+    EXPECT_GE(ldg_edges, inst.gsg.num_edges());
+  }
+}
+
+TEST_F(DatasetTest, RejectsNormalTarget) {
+  eth::DatasetConfig config;
+  config.target = eth::AccountClass::kNormal;
+  auto result = eth::BuildDataset(*ledger_, config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetTest, StandardizeUsesFitSplit) {
+  eth::DatasetConfig config;
+  config.target = eth::AccountClass::kExchange;
+  config.max_positives = 5;
+  config.sampling.top_k = 5;
+  auto ds = eth::BuildDataset(*ledger_, config).ValueOrDie();
+  ASSERT_GE(ds.num_graphs(), 4);
+  std::vector<int> fit = {0, 1};
+  eth::StandardizeDataset(&ds, fit);
+  // Features are finite and LDG shares the standardized matrix.
+  for (const auto& inst : ds.instances) {
+    EXPECT_TRUE(inst.gsg.node_features.AllFinite());
+    EXPECT_TRUE(AlmostEqual(inst.gsg.node_features,
+                            inst.ldg.front().node_features));
+  }
+}
+
+TEST_F(DatasetTest, DeterministicUnderSeed) {
+  eth::DatasetConfig config;
+  config.target = eth::AccountClass::kMining;
+  config.max_positives = 4;
+  config.sampling.top_k = 5;
+  auto a = eth::BuildDataset(*ledger_, config).ValueOrDie();
+  auto b = eth::BuildDataset(*ledger_, config).ValueOrDie();
+  ASSERT_EQ(a.num_graphs(), b.num_graphs());
+  for (int i = 0; i < a.num_graphs(); ++i) {
+    EXPECT_EQ(a.instances[i].label, b.instances[i].label);
+    EXPECT_EQ(a.instances[i].subgraph.nodes, b.instances[i].subgraph.nodes);
+  }
+}
+
+}  // namespace
+}  // namespace dbg4eth

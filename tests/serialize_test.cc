@@ -1,0 +1,265 @@
+// Checkpointing round-trip tests: every serializable component must
+// reproduce its predictions exactly after Save + Load, and corrupted
+// streams must fail with an error instead of yielding garbage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "calib/adaptive.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "ml/ensemble.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "tensor/serialize.h"
+
+namespace dbg4eth {
+namespace {
+
+TEST(BinarySerializeTest, PrimitivesRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  writer.WriteU32(42);
+  writer.WriteU64(1ull << 60);
+  writer.WriteI32(-7);
+  writer.WriteDouble(3.14159);
+  writer.WriteBool(true);
+  writer.WriteString("hello");
+  writer.WriteDoubleVector({1.5, -2.5});
+  writer.WriteIntVector({3, -4, 5});
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(&stream);
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  double d;
+  bool b;
+  std::string s;
+  std::vector<double> dv;
+  std::vector<int> iv;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI32(&i32).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadBool(&b).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadDoubleVector(&dv).ok());
+  ASSERT_TRUE(reader.ReadIntVector(&iv).ok());
+  EXPECT_EQ(u32, 42u);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i32, -7);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(dv, (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(iv, (std::vector<int>{3, -4, 5}));
+}
+
+TEST(BinarySerializeTest, TruncatedStreamFails) {
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  writer.WriteU32(10);  // promises 10 doubles, delivers none
+  BinaryReader reader(&stream);
+  std::vector<double> v;
+  EXPECT_FALSE(reader.ReadDoubleVector(&v).ok());
+}
+
+TEST(BinarySerializeTest, TagMismatchFails) {
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  writer.WriteString("alpha");
+  BinaryReader reader(&stream);
+  EXPECT_FALSE(reader.ExpectTag("beta").ok());
+}
+
+TEST(BinarySerializeTest, MatrixRoundTrip) {
+  Rng rng(1);
+  Matrix m = Matrix::Random(4, 7, &rng);
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  WriteMatrix(&writer, m);
+  BinaryReader reader(&stream);
+  Matrix restored;
+  ASSERT_TRUE(ReadMatrix(&reader, &restored).ok());
+  EXPECT_TRUE(AlmostEqual(m, restored, 0.0));
+}
+
+TEST(BinarySerializeTest, ParameterShapeMismatchFails) {
+  Rng rng(2);
+  ag::Tensor a = ag::Tensor::Parameter(Matrix::Random(2, 3, &rng));
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  ag::WriteParameters(&writer, {a});
+  BinaryReader reader(&stream);
+  ag::Tensor wrong = ag::Tensor::Parameter(Matrix::Random(3, 3, &rng));
+  std::vector<ag::Tensor> params = {wrong};
+  EXPECT_FALSE(ag::ReadParameters(&reader, &params).ok());
+}
+
+void MakeCalibrationData(int n, uint64_t seed, std::vector<double>* scores,
+                         std::vector<int>* labels) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double s = rng.Uniform();
+    scores->push_back(s);
+    labels->push_back(rng.Bernoulli(0.2 + 0.6 * s) ? 1 : 0);
+  }
+}
+
+TEST(CalibratorSerializeTest, EveryMethodRoundTrips) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeCalibrationData(400, 3, &scores, &labels);
+  for (auto& original : calib::MakeAllCalibrators()) {
+    ASSERT_TRUE(original->Fit(scores, labels).ok());
+    std::stringstream stream;
+    BinaryWriter writer(&stream);
+    original->Save(&writer);
+
+    auto all = calib::MakeAllCalibrators();
+    calib::Calibrator* restored = nullptr;
+    for (auto& c : all) {
+      if (c->name() == original->name()) restored = c.get();
+    }
+    ASSERT_NE(restored, nullptr);
+    BinaryReader reader(&stream);
+    ASSERT_TRUE(restored->Load(&reader).ok()) << original->name();
+    for (double s = 0.0; s <= 1.0; s += 0.03) {
+      EXPECT_DOUBLE_EQ(original->Calibrate(s), restored->Calibrate(s))
+          << original->name();
+    }
+  }
+}
+
+TEST(CalibratorSerializeTest, AdaptiveEnsembleRoundTrips) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeCalibrationData(500, 5, &scores, &labels);
+  calib::AdaptiveCalibrator original;
+  ASSERT_TRUE(original.Fit(scores, labels).ok());
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  original.Save(&writer);
+
+  calib::AdaptiveCalibrator restored;
+  BinaryReader reader(&stream);
+  ASSERT_TRUE(restored.Load(&reader).ok());
+  ASSERT_EQ(restored.methods().size(), original.methods().size());
+  for (size_t i = 0; i < original.methods().size(); ++i) {
+    EXPECT_EQ(restored.methods()[i].name, original.methods()[i].name);
+    EXPECT_DOUBLE_EQ(restored.methods()[i].weight,
+                     original.methods()[i].weight);
+  }
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    EXPECT_DOUBLE_EQ(original.Calibrate(s), restored.Calibrate(s));
+  }
+}
+
+void MakeTabularData(int n, uint64_t seed, Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 3; ++c) x->At(i, c) = rng.Normal(0, 1);
+    (*y)[i] = x->At(i, 0) + x->At(i, 1) * x->At(i, 2) > 0 ? 1 : 0;
+  }
+}
+
+template <typename Model>
+void ExpectHeadRoundTrip(Model* original, Model* restored) {
+  Matrix x;
+  std::vector<int> y;
+  MakeTabularData(200, 7, &x, &y);
+  ASSERT_TRUE(original->Train(x, y).ok());
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  original->Save(&writer);
+  BinaryReader reader(&stream);
+  ASSERT_TRUE(restored->Load(&reader).ok());
+  for (int i = 0; i < x.rows(); i += 17) {
+    EXPECT_DOUBLE_EQ(original->PredictProba(x.RowPtr(i)),
+                     restored->PredictProba(x.RowPtr(i)));
+  }
+}
+
+TEST(HeadSerializeTest, GbdtRoundTrips) {
+  ml::GbdtClassifier original, restored;
+  ExpectHeadRoundTrip(&original, &restored);
+}
+
+TEST(HeadSerializeTest, RandomForestRoundTrips) {
+  ml::RandomForestClassifier original, restored;
+  ExpectHeadRoundTrip(&original, &restored);
+}
+
+TEST(HeadSerializeTest, AdaBoostRoundTrips) {
+  ml::AdaBoostClassifier original, restored;
+  ExpectHeadRoundTrip(&original, &restored);
+}
+
+TEST(HeadSerializeTest, MlpRoundTrips) {
+  ml::MlpClassifier original, restored;
+  ExpectHeadRoundTrip(&original, &restored);
+}
+
+TEST(ModelSerializeTest, FullDbg4EthRoundTrips) {
+  eth::LedgerConfig lc;
+  lc.num_normal = 500;
+  lc.num_exchange = 10;
+  lc.duration_days = 90.0;
+  lc.seed = 99;
+  eth::LedgerSimulator ledger(lc);
+  ASSERT_TRUE(ledger.Generate().ok());
+  eth::DatasetConfig dc;
+  dc.target = eth::AccountClass::kExchange;
+  dc.max_positives = 10;
+  dc.sampling.top_k = 5;
+  dc.sampling.max_nodes = 40;
+  dc.num_time_slices = 4;
+  auto ds = std::move(eth::BuildDataset(ledger, dc)).ValueOrDie();
+
+  core::Dbg4EthConfig config;
+  config.gsg.hidden_dim = 12;
+  config.gsg.epochs = 3;
+  config.ldg.hidden_dim = 12;
+  config.ldg.epochs = 2;
+  config.ldg.first_level_clusters = 4;
+  config.gbdt.num_trees = 10;
+  core::Dbg4Eth original(config);
+  Rng rng(config.seed);
+  const ml::SplitIndices split = ml::StratifiedSplit(
+      ds.labels(), config.train_fraction, config.val_fraction, &rng);
+  ASSERT_TRUE(original.Train(&ds, split).ok());
+
+  // Untrained models refuse to save.
+  {
+    core::Dbg4Eth untrained(config);
+    std::stringstream sink;
+    EXPECT_EQ(untrained.Save(&sink).code(), StatusCode::kFailedPrecondition);
+  }
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(&stream).ok());
+  auto restored_result = core::Dbg4Eth::Load(&stream);
+  ASSERT_TRUE(restored_result.ok()) << restored_result.status().ToString();
+  const auto& restored = restored_result.ValueOrDie();
+
+  for (const auto& inst : ds.instances) {
+    EXPECT_DOUBLE_EQ(original.PredictProba(inst),
+                     restored->PredictProba(inst));
+  }
+}
+
+TEST(ModelSerializeTest, GarbageStreamFailsToLoad) {
+  std::stringstream stream;
+  stream << "this is not a checkpoint";
+  auto result = core::Dbg4Eth::Load(&stream);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dbg4eth
