@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mixer_robustness"
+  "../bench/bench_ext_mixer_robustness.pdb"
+  "CMakeFiles/bench_ext_mixer_robustness.dir/bench_ext_mixer_robustness.cc.o"
+  "CMakeFiles/bench_ext_mixer_robustness.dir/bench_ext_mixer_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mixer_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

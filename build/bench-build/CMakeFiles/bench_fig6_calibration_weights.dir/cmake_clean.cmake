@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_calibration_weights"
+  "../bench/bench_fig6_calibration_weights.pdb"
+  "CMakeFiles/bench_fig6_calibration_weights.dir/bench_fig6_calibration_weights.cc.o"
+  "CMakeFiles/bench_fig6_calibration_weights.dir/bench_fig6_calibration_weights.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_calibration_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_classifier_roc"
+  "../bench/bench_fig7_classifier_roc.pdb"
+  "CMakeFiles/bench_fig7_classifier_roc.dir/bench_fig7_classifier_roc.cc.o"
+  "CMakeFiles/bench_fig7_classifier_roc.dir/bench_fig7_classifier_roc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_classifier_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_sensitivity"
+  "../bench/bench_fig9_sensitivity.pdb"
+  "CMakeFiles/bench_fig9_sensitivity.dir/bench_fig9_sensitivity.cc.o"
+  "CMakeFiles/bench_fig9_sensitivity.dir/bench_fig9_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_baselines"
+  "../bench/bench_table3_baselines.pdb"
+  "CMakeFiles/bench_table3_baselines.dir/bench_table3_baselines.cc.o"
+  "CMakeFiles/bench_table3_baselines.dir/bench_table3_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

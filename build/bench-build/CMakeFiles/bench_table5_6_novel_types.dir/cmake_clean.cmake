@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_6_novel_types"
+  "../bench/bench_table5_6_novel_types.pdb"
+  "CMakeFiles/bench_table5_6_novel_types.dir/bench_table5_6_novel_types.cc.o"
+  "CMakeFiles/bench_table5_6_novel_types.dir/bench_table5_6_novel_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_6_novel_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_calibration_tuning.dir/calibration_tuning.cpp.o"
+  "CMakeFiles/example_calibration_tuning.dir/calibration_tuning.cpp.o.d"
+  "example_calibration_tuning"
+  "example_calibration_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_calibration_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

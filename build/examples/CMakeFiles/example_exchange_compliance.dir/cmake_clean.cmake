@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_exchange_compliance.dir/exchange_compliance.cpp.o"
+  "CMakeFiles/example_exchange_compliance.dir/exchange_compliance.cpp.o.d"
+  "example_exchange_compliance"
+  "example_exchange_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_exchange_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

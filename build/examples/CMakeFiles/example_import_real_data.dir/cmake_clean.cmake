@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_import_real_data.dir/import_real_data.cpp.o"
+  "CMakeFiles/example_import_real_data.dir/import_real_data.cpp.o.d"
+  "example_import_real_data"
+  "example_import_real_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_import_real_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

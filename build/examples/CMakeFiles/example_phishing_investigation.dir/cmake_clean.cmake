@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_phishing_investigation.dir/phishing_investigation.cpp.o"
+  "CMakeFiles/example_phishing_investigation.dir/phishing_investigation.cpp.o.d"
+  "example_phishing_investigation"
+  "example_phishing_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_phishing_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

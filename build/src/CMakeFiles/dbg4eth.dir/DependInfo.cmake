@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augmentation.cc" "src/CMakeFiles/dbg4eth.dir/augment/augmentation.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/augment/augmentation.cc.o.d"
+  "/root/repo/src/augment/contrastive.cc" "src/CMakeFiles/dbg4eth.dir/augment/contrastive.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/augment/contrastive.cc.o.d"
+  "/root/repo/src/calib/adaptive.cc" "src/CMakeFiles/dbg4eth.dir/calib/adaptive.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/calib/adaptive.cc.o.d"
+  "/root/repo/src/calib/ece.cc" "src/CMakeFiles/dbg4eth.dir/calib/ece.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/calib/ece.cc.o.d"
+  "/root/repo/src/calib/nonparametric.cc" "src/CMakeFiles/dbg4eth.dir/calib/nonparametric.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/calib/nonparametric.cc.o.d"
+  "/root/repo/src/calib/parametric.cc" "src/CMakeFiles/dbg4eth.dir/calib/parametric.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/calib/parametric.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dbg4eth.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/dbg4eth.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dbg4eth.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/dbg4eth.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dbg4eth.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dbg4eth.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/dbg4eth.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/dbg4eth.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/dbg4eth.cc" "src/CMakeFiles/dbg4eth.dir/core/dbg4eth.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/dbg4eth.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/dbg4eth.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/gsg_encoder.cc" "src/CMakeFiles/dbg4eth.dir/core/gsg_encoder.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/gsg_encoder.cc.o.d"
+  "/root/repo/src/core/ldg_encoder.cc" "src/CMakeFiles/dbg4eth.dir/core/ldg_encoder.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/ldg_encoder.cc.o.d"
+  "/root/repo/src/core/multiclass.cc" "src/CMakeFiles/dbg4eth.dir/core/multiclass.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/core/multiclass.cc.o.d"
+  "/root/repo/src/embed/graph_embedding.cc" "src/CMakeFiles/dbg4eth.dir/embed/graph_embedding.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/embed/graph_embedding.cc.o.d"
+  "/root/repo/src/embed/random_walk.cc" "src/CMakeFiles/dbg4eth.dir/embed/random_walk.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/embed/random_walk.cc.o.d"
+  "/root/repo/src/embed/skipgram.cc" "src/CMakeFiles/dbg4eth.dir/embed/skipgram.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/embed/skipgram.cc.o.d"
+  "/root/repo/src/eth/csv_ledger.cc" "src/CMakeFiles/dbg4eth.dir/eth/csv_ledger.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/eth/csv_ledger.cc.o.d"
+  "/root/repo/src/eth/dataset.cc" "src/CMakeFiles/dbg4eth.dir/eth/dataset.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/eth/dataset.cc.o.d"
+  "/root/repo/src/eth/label_store.cc" "src/CMakeFiles/dbg4eth.dir/eth/label_store.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/eth/label_store.cc.o.d"
+  "/root/repo/src/eth/ledger.cc" "src/CMakeFiles/dbg4eth.dir/eth/ledger.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/eth/ledger.cc.o.d"
+  "/root/repo/src/eth/types.cc" "src/CMakeFiles/dbg4eth.dir/eth/types.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/eth/types.cc.o.d"
+  "/root/repo/src/features/analysis.cc" "src/CMakeFiles/dbg4eth.dir/features/analysis.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/features/analysis.cc.o.d"
+  "/root/repo/src/features/node_features.cc" "src/CMakeFiles/dbg4eth.dir/features/node_features.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/features/node_features.cc.o.d"
+  "/root/repo/src/gnn/conv.cc" "src/CMakeFiles/dbg4eth.dir/gnn/conv.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/conv.cc.o.d"
+  "/root/repo/src/gnn/diffpool.cc" "src/CMakeFiles/dbg4eth.dir/gnn/diffpool.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/diffpool.cc.o.d"
+  "/root/repo/src/gnn/gru.cc" "src/CMakeFiles/dbg4eth.dir/gnn/gru.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/gru.cc.o.d"
+  "/root/repo/src/gnn/hier_attention.cc" "src/CMakeFiles/dbg4eth.dir/gnn/hier_attention.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/hier_attention.cc.o.d"
+  "/root/repo/src/gnn/linear.cc" "src/CMakeFiles/dbg4eth.dir/gnn/linear.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/linear.cc.o.d"
+  "/root/repo/src/gnn/transformer.cc" "src/CMakeFiles/dbg4eth.dir/gnn/transformer.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/gnn/transformer.cc.o.d"
+  "/root/repo/src/graph/build.cc" "src/CMakeFiles/dbg4eth.dir/graph/build.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/graph/build.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/dbg4eth.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/dbg4eth.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/dbg4eth.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/graph/sampling.cc.o.d"
+  "/root/repo/src/ml/ensemble.cc" "src/CMakeFiles/dbg4eth.dir/ml/ensemble.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/ensemble.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/CMakeFiles/dbg4eth.dir/ml/gbdt.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/dbg4eth.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/dbg4eth.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/dbg4eth.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/split.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/dbg4eth.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/ml/tree.cc.o.d"
+  "/root/repo/src/tensor/gradcheck.cc" "src/CMakeFiles/dbg4eth.dir/tensor/gradcheck.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/gradcheck.cc.o.d"
+  "/root/repo/src/tensor/init.cc" "src/CMakeFiles/dbg4eth.dir/tensor/init.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/init.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/dbg4eth.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/dbg4eth.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/dbg4eth.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/tensor/serialize.cc" "src/CMakeFiles/dbg4eth.dir/tensor/serialize.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/serialize.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/dbg4eth.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/dbg4eth.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

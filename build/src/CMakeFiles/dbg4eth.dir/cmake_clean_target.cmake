@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbg4eth.a"
+)

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/augment_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/augment_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/augment_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/calib_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/calib_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/calib_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/csv_ledger_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/csv_ledger_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/csv_ledger_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/embed_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/embed_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/embed_test.cc.o.d"
+  "/root/repo/tests/encoder_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/encoder_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/encoder_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/gnn_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/gnn_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/gnn_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/multiclass_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/multiclass_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/multiclass_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sampling_dataset_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/sampling_dataset_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/sampling_dataset_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/tree_behavior_test.cc" "tests/CMakeFiles/dbg4eth_tests.dir/tree_behavior_test.cc.o" "gcc" "tests/CMakeFiles/dbg4eth_tests.dir/tree_behavior_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbg4eth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
