@@ -3,12 +3,27 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace dbg4eth {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes line emission so messages from concurrent worker threads
+/// (serving pool, bench client threads) never shear mid-line. The full
+/// line, newline included, goes out in a single fputs under this lock.
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+void EmitLine(std::string line) {
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fputs(line.c_str(), stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,7 +58,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    EmitLine(stream_.str());
   }
 }
 
@@ -54,7 +69,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -84,8 +84,11 @@ ag::Tensor GsgEncoder::Logits(const ag::Tensor& embedding) const {
 }
 
 double GsgEncoder::PredictScore(const graph::Graph& g) const {
+  // The eval path never draws randomness (Dropout is a no-op when
+  // !training); passing nullptr keeps inference free of the mutable
+  // training RNG so concurrent PredictScore calls are race-free.
   const Matrix logits =
-      Logits(EmbedGraph(g, /*training=*/false, &rng_)).value();
+      Logits(EmbedGraph(g, /*training=*/false, /*rng=*/nullptr)).value();
   return logits.At(0, 1) - logits.At(0, 0);
 }
 

@@ -38,27 +38,41 @@ std::vector<int> SubgraphDataset::labels() const {
   return out;
 }
 
+Result<GraphInstance> MaterializeInstance(
+    const Ledger& ledger, AccountId center,
+    const graph::SamplingConfig& sampling, int num_time_slices) {
+  if (num_time_slices < 1) {
+    return Status::InvalidArgument("num_time_slices must be >= 1");
+  }
+  DBG4ETH_ASSIGN_OR_RETURN(TxSubgraph sub,
+                           graph::SampleSubgraph(ledger, center, sampling));
+  if (sub.num_nodes() < 3 || sub.txs.empty()) {
+    return Status::FailedPrecondition(
+        "center yields a degenerate subgraph (< 3 nodes or no transactions)");
+  }
+  GraphInstance inst;
+  inst.gsg = graph::BuildGlobalStaticGraph(sub);
+  inst.ldg = graph::BuildLocalDynamicGraphs(sub, num_time_slices);
+  const Matrix feats =
+      features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
+  inst.gsg.node_features = feats;
+  for (graph::Graph& slice : inst.ldg) slice.node_features = feats;
+  inst.subgraph = std::move(sub);
+  return inst;
+}
+
 namespace {
 
 /// Expands one center into a GraphInstance; returns false when the center
 /// yields a degenerate subgraph (fewer than 3 nodes or no transactions).
 bool ExpandCenter(const Ledger& ledger, AccountId center, int label,
                   const DatasetConfig& config, GraphInstance* out) {
-  auto sub_result = graph::SampleSubgraph(ledger, center, config.sampling);
-  if (!sub_result.ok()) return false;
-  TxSubgraph sub = std::move(sub_result).ValueOrDie();
-  if (sub.num_nodes() < 3 || sub.txs.empty()) return false;
-  sub.label = label;
-
-  GraphInstance inst;
+  auto result = MaterializeInstance(ledger, center, config.sampling,
+                                    config.num_time_slices);
+  if (!result.ok()) return false;
+  GraphInstance inst = std::move(result).ValueOrDie();
   inst.label = label;
-  inst.gsg = graph::BuildGlobalStaticGraph(sub);
-  inst.ldg = graph::BuildLocalDynamicGraphs(sub, config.num_time_slices);
-  const Matrix feats =
-      features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
-  inst.gsg.node_features = feats;
-  for (graph::Graph& slice : inst.ldg) slice.node_features = feats;
-  inst.subgraph = std::move(sub);
+  inst.subgraph.label = label;
   *out = std::move(inst);
   return true;
 }

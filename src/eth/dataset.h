@@ -52,6 +52,20 @@ struct SubgraphDataset {
   std::vector<int> labels() const;
 };
 
+/// Materializes the account-centred instance for a single address: top-K
+/// subgraph sampling around `center`, GSG and LDG construction, and
+/// log-scaled node features (Table I). This is the per-request path the
+/// serving layer uses; BuildDataset applies the same expansion to every
+/// center. Fails with NotFound when the center has no transactions and
+/// FailedPrecondition when the subgraph is degenerate (< 3 nodes or no
+/// transactions). The returned instance carries raw log-scaled features;
+/// standardize with StandardizeInstance / Dbg4Eth::Normalize before
+/// scoring.
+Result<GraphInstance> MaterializeInstance(const Ledger& ledger,
+                                          AccountId center,
+                                          const graph::SamplingConfig& sampling,
+                                          int num_time_slices);
+
 /// Builds the dataset: positive centers are all (or max_positives) accounts
 /// of the target class; negative centers mix active normal users with other
 /// labeled classes. Every center is expanded with top-K sampling, node

@@ -1,0 +1,200 @@
+#include "serve/inference_service.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace serve {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<InferenceService>> InferenceService::Create(
+    const InferenceServiceConfig& config, std::istream* checkpoint,
+    const eth::Ledger* ledger) {
+  if (ledger == nullptr) {
+    return Status::InvalidArgument("ledger must not be null");
+  }
+  DBG4ETH_ASSIGN_OR_RETURN(std::unique_ptr<core::Dbg4Eth> model,
+                           core::Dbg4Eth::Load(checkpoint));
+  return std::make_unique<InferenceService>(config, std::move(model), ledger);
+}
+
+InferenceService::InferenceService(const InferenceServiceConfig& config,
+                                   std::unique_ptr<core::Dbg4Eth> model,
+                                   const eth::Ledger* ledger)
+    : config_(config),
+      model_(std::move(model)),
+      ledger_(ledger),
+      cache_(config.cache),
+      queue_(config.queue),
+      pool_(config.num_workers, config.pool_queue_capacity) {
+  DBG4ETH_CHECK(model_ != nullptr);
+  DBG4ETH_CHECK(ledger_ != nullptr);
+  ledger_height_.store(ledger_->transactions().size());
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+InferenceService::~InferenceService() { Shutdown(); }
+
+void InferenceService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shutdown_.exchange(true)) return;
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.Shutdown();
+}
+
+void InferenceService::RefreshLedgerHeight() {
+  const uint64_t height = ledger_->transactions().size();
+  const uint64_t previous = ledger_height_.exchange(height);
+  if (height > previous) {
+    cache_.InvalidateOlderThan(height);
+  }
+}
+
+std::future<ScoreResult> InferenceService::ScoreAsync(
+    eth::AccountId address) {
+  if (shutdown_.load()) {
+    // A shut-down service rejects uniformly — even addresses that would
+    // hit the cache — so clients observe one consistent terminal state.
+    ScoreResult result;
+    result.address = address;
+    result.ledger_height = ledger_height_.load();
+    result.status = Status::FailedPrecondition("service is shut down");
+    stats_.RecordError();
+    auto promise = std::make_shared<std::promise<ScoreResult>>();
+    std::future<ScoreResult> rejected = promise->get_future();
+    promise->set_value(std::move(result));
+    return rejected;
+  }
+  ScoreRequest request;
+  request.address = address;
+  request.ledger_height = ledger_height_.load();
+  request.enqueue_time = std::chrono::steady_clock::now();
+  request.promise = std::make_shared<std::promise<ScoreResult>>();
+  std::future<ScoreResult> future = request.promise->get_future();
+
+  // Fast path: a cached score resolves without touching the queue, the
+  // pool, the sampler, or the model.
+  if (auto cached =
+          cache_.Get({address, request.ledger_height})) {
+    ScoreResult result;
+    result.address = address;
+    result.ledger_height = request.ledger_height;
+    result.probability = *cached;
+    result.cache_hit = true;
+    result.latency_us = ElapsedUs(request.enqueue_time);
+    stats_.RecordRequest(result.latency_us, /*cache_hit=*/true);
+    request.promise->set_value(std::move(result));
+    return future;
+  }
+
+  if (!queue_.Push(std::move(request))) {
+    // Rejected: the service is shutting down. The moved-in request (and
+    // its promise) died inside Push, so resolve via a fresh promise.
+    ScoreResult result;
+    result.address = address;
+    result.ledger_height = ledger_height_.load();
+    result.status = Status::FailedPrecondition("service is shut down");
+    stats_.RecordError();
+    auto promise = std::make_shared<std::promise<ScoreResult>>();
+    std::future<ScoreResult> rejected = promise->get_future();
+    promise->set_value(std::move(result));
+    return rejected;
+  }
+  return future;
+}
+
+ScoreResult InferenceService::Score(eth::AccountId address) {
+  return ScoreAsync(address).get();
+}
+
+void InferenceService::DispatchLoop() {
+  std::vector<ScoreRequest> batch;
+  while (queue_.PopBatch(&batch)) {
+    stats_.RecordBatch(batch.size());
+    auto shared =
+        std::make_shared<std::vector<ScoreRequest>>(std::move(batch));
+    // Submit blocks when all workers are busy and the pool queue is full —
+    // that backpressure propagates to producers through the request queue.
+    if (!pool_.Submit([this, shared] { ProcessBatch(shared.get()); })) {
+      // Pool already shut down (service teardown); fail the batch.
+      for (const ScoreRequest& request : *shared) {
+        ScoreResult result;
+        result.address = request.address;
+        result.ledger_height = request.ledger_height;
+        result.status = Status::FailedPrecondition("service is shut down");
+        stats_.RecordError();
+        request.promise->set_value(std::move(result));
+      }
+    }
+    batch.clear();
+  }
+}
+
+void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
+  // Dedupe identical (address, height) requests inside the batch: the
+  // subgraph is materialized and scored once, every requester gets the
+  // result. This is where micro-batching pays beyond amortized dispatch.
+  std::unordered_map<uint64_t, double> scored;  // packed key -> probability
+  for (ScoreRequest& request : *batch) {
+    const ResultCache::Key key{request.address, request.ledger_height};
+    const uint64_t packed =
+        (static_cast<uint64_t>(static_cast<uint32_t>(request.address))
+         << 32) ^
+        (request.ledger_height & 0xffffffffULL);
+
+    ScoreResult result;
+    result.address = request.address;
+    result.ledger_height = request.ledger_height;
+
+    if (auto it = scored.find(packed); it != scored.end()) {
+      result.probability = it->second;
+      result.cache_hit = true;  // Shared with an in-batch duplicate.
+    } else if (auto cached = cache_.Get(key)) {
+      // A concurrent batch may have filled the cache since ScoreAsync
+      // missed; still counts as skipping the expensive path.
+      result.probability = *cached;
+      result.cache_hit = true;
+      scored.emplace(packed, *cached);
+    } else {
+      Result<double> proba = ScoreCold(request.address);
+      if (!proba.ok()) {
+        result.status = proba.status();
+        stats_.RecordError();
+        result.latency_us = ElapsedUs(request.enqueue_time);
+        request.promise->set_value(std::move(result));
+        continue;
+      }
+      result.probability = proba.ValueOrDie();
+      cache_.Put(key, result.probability);
+      scored.emplace(packed, result.probability);
+    }
+    result.latency_us = ElapsedUs(request.enqueue_time);
+    stats_.RecordRequest(result.latency_us, result.cache_hit);
+    request.promise->set_value(std::move(result));
+  }
+}
+
+Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
+  DBG4ETH_ASSIGN_OR_RETURN(
+      eth::GraphInstance instance,
+      eth::MaterializeInstance(*ledger_, address, config_.sampling,
+                               config_.num_time_slices));
+  model_->Normalize(&instance);
+  return model_->PredictProba(instance);
+}
+
+}  // namespace serve
+}  // namespace dbg4eth

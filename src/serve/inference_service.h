@@ -1,0 +1,123 @@
+#ifndef DBG4ETH_SERVE_INFERENCE_SERVICE_H_
+#define DBG4ETH_SERVE_INFERENCE_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger_base.h"
+#include "graph/sampling.h"
+#include "serve/request_queue.h"
+#include "serve/result_cache.h"
+#include "serve/server_stats.h"
+#include "serve/thread_pool.h"
+#include "serve/types.h"
+
+namespace dbg4eth {
+namespace serve {
+
+/// \brief Knobs of the serving layer.
+struct InferenceServiceConfig {
+  int num_workers = 4;
+  /// Pending-batch bound of the worker pool (backpressure toward the
+  /// dispatcher, which in turn backpressures producers via the queue).
+  size_t pool_queue_capacity = 256;
+  RequestQueueConfig queue;
+  ResultCacheConfig cache;
+  /// Subgraph materialization parameters; must match how the model's
+  /// training data was sampled for the scores to be meaningful.
+  graph::SamplingConfig sampling;
+  int num_time_slices = 10;
+};
+
+/// \brief Concurrent account-scoring service over a trained Dbg4Eth model.
+///
+/// Request path: `ScoreAsync(address)` first consults the sharded result
+/// cache keyed by (address, ledger height) — a hit resolves immediately,
+/// skipping both subgraph materialization and the forward pass. Misses are
+/// enqueued into the micro-batching RequestQueue; a dispatcher thread pops
+/// batches (full batch or max_wait_us, whichever first) and hands each
+/// batch to the worker pool. Workers dedupe identical addresses inside the
+/// batch, re-check the cache, materialize the account-centred subgraph
+/// (eth::MaterializeInstance), normalize it with the model's train-split
+/// statistics, run the double-graph forward pass, fill the cache and
+/// resolve the promises. Every outcome is recorded in ServerStats.
+///
+/// Thread safety: the loaded model is only read after construction;
+/// Dbg4Eth::PredictProba / Normalize are const and race-free, so any
+/// number of workers score concurrently. The ledger must outlive the
+/// service and be immutable while it runs (bump via RefreshLedgerHeight
+/// after appending transactions).
+class InferenceService {
+ public:
+  /// Restores the model from a checkpoint stream (Dbg4Eth::Save format)
+  /// and starts the dispatcher and worker threads.
+  static Result<std::unique_ptr<InferenceService>> Create(
+      const InferenceServiceConfig& config, std::istream* checkpoint,
+      const eth::Ledger* ledger);
+
+  /// Takes ownership of an already-loaded model (tests, in-process use).
+  InferenceService(const InferenceServiceConfig& config,
+                   std::unique_ptr<core::Dbg4Eth> model,
+                   const eth::Ledger* ledger);
+
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Submits one address for scoring. The future resolves with a
+  /// ScoreResult whose status reflects per-request failures (unknown
+  /// address, degenerate subgraph) — the future itself never throws.
+  std::future<ScoreResult> ScoreAsync(eth::AccountId address);
+
+  /// Blocking convenience wrapper around ScoreAsync.
+  ScoreResult Score(eth::AccountId address);
+
+  /// Re-reads the ledger's transaction count. When it grew, subsequent
+  /// requests key the cache at the new height (old entries can no longer
+  /// be returned) and superseded entries are dropped eagerly.
+  void RefreshLedgerHeight();
+
+  uint64_t ledger_height() const { return ledger_height_.load(); }
+
+  /// Stops accepting requests, drains in-flight work, joins all threads.
+  /// Pending requests still resolve (scored or error). Idempotent.
+  void Shutdown();
+
+  ServerStats::Snapshot StatsSnapshot() const {
+    return stats_.TakeSnapshot();
+  }
+  const ResultCache& cache() const { return cache_; }
+  const InferenceServiceConfig& config() const { return config_; }
+
+ private:
+  void DispatchLoop();
+  void ProcessBatch(std::vector<ScoreRequest>* batch);
+  /// Cold path: materialize + normalize + forward pass.
+  Result<double> ScoreCold(eth::AccountId address) const;
+
+  InferenceServiceConfig config_;
+  std::unique_ptr<core::Dbg4Eth> model_;
+  const eth::Ledger* ledger_;
+  std::atomic<uint64_t> ledger_height_{0};
+  ResultCache cache_;
+  ServerStats stats_;
+  RequestQueue queue_;
+  ThreadPool pool_;
+  std::thread dispatcher_;
+  std::mutex shutdown_mu_;  ///< Serializes Shutdown callers.
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace serve
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_SERVE_INFERENCE_SERVICE_H_

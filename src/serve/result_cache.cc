@@ -1,0 +1,92 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace serve {
+
+ResultCache::ResultCache(const ResultCacheConfig& config) {
+  DBG4ETH_CHECK_GE(config.capacity, 1u);
+  const int num_shards = std::max(1, config.num_shards);
+  capacity_ = config.capacity;
+  shard_capacity_ =
+      std::max<size_t>(1, (config.capacity + num_shards - 1) / num_shards);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+std::optional<double> ResultCache::Get(const Key& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  // Move to the front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1);
+  return it->second->probability;
+}
+
+void ResultCache::Put(const Key& key, double probability) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->probability = probability;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1);
+  }
+  shard.lru.push_front(Entry{key, probability});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void ResultCache::InvalidateOlderThan(uint64_t height) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.height < height) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace dbg4eth

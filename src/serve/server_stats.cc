@@ -1,0 +1,156 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dbg4eth {
+namespace serve {
+
+namespace {
+
+/// xorshift64*: tiny deterministic generator for reservoir replacement
+/// slots; quality needs are minimal and it keeps the critical section
+/// short.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace
+
+LatencyReservoir::LatencyReservoir(size_t capacity, uint64_t seed)
+    : capacity_(std::max<size_t>(1, capacity)),
+      rng_state_(seed ? seed : 1) {
+  samples_.reserve(capacity_);
+}
+
+void LatencyReservoir::Record(double latency_us) {
+  const uint64_t n = count_.fetch_add(1);  // Index of this observation.
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_us_ += latency_us;
+  max_us_ = std::max(max_us_, latency_us);
+  if (samples_.size() < capacity_) {
+    samples_.push_back(latency_us);
+    return;
+  }
+  // Algorithm R: keep observation n with probability capacity/(n+1).
+  const uint64_t slot = NextRandom(&rng_state_) % (n + 1);
+  if (slot < capacity_) samples_[slot] = latency_us;
+}
+
+double LatencyReservoir::Percentile(double q) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+double LatencyReservoir::MeanUs() const {
+  const uint64_t n = count_.load();
+  if (n == 0) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_us_ / static_cast<double>(n);
+}
+
+double LatencyReservoir::MaxUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_us_;
+}
+
+ServerStats::ServerStats()
+    : cold_latency_(4096, 0xc01d), hit_latency_(4096, 0xcac4e) {}
+
+void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
+  requests_.fetch_add(1);
+  if (cache_hit) {
+    cache_hits_.fetch_add(1);
+    hit_latency_.Record(latency_us);
+  } else {
+    cold_latency_.Record(latency_us);
+  }
+}
+
+void ServerStats::RecordError() { errors_.fetch_add(1); }
+
+void ServerStats::RecordBatch(size_t batch_size) {
+  batches_.fetch_add(1);
+  batched_requests_.fetch_add(batch_size);
+}
+
+namespace {
+
+ServerStats::LatencySummary Summarize(const LatencyReservoir& reservoir) {
+  ServerStats::LatencySummary summary;
+  summary.count = reservoir.count();
+  summary.p50_us = reservoir.Percentile(0.50);
+  summary.p95_us = reservoir.Percentile(0.95);
+  summary.p99_us = reservoir.Percentile(0.99);
+  summary.mean_us = reservoir.MeanUs();
+  summary.max_us = reservoir.MaxUs();
+  return summary;
+}
+
+}  // namespace
+
+ServerStats::Snapshot ServerStats::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.requests = requests_.load();
+  snapshot.cache_hits = cache_hits_.load();
+  snapshot.errors = errors_.load();
+  snapshot.batches = batches_.load();
+  const uint64_t batched = batched_requests_.load();
+  snapshot.avg_batch_size =
+      snapshot.batches == 0
+          ? 0.0
+          : static_cast<double>(batched) / static_cast<double>(snapshot.batches);
+  snapshot.cache_hit_rate =
+      snapshot.requests == 0
+          ? 0.0
+          : static_cast<double>(snapshot.cache_hits) /
+                static_cast<double>(snapshot.requests);
+  snapshot.cold = Summarize(cold_latency_);
+  snapshot.hit = Summarize(hit_latency_);
+  return snapshot;
+}
+
+std::string ServerStats::Format(const Snapshot& s) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "requests=%llu hits=%llu (%.1f%%) errors=%llu "
+                "batches=%llu avg_batch=%.2f\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.cache_hits),
+                100.0 * s.cache_hit_rate,
+                static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.batches), s.avg_batch_size);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "cold latency (us): n=%llu p50=%.1f p95=%.1f p99=%.1f "
+                "mean=%.1f max=%.1f\n",
+                static_cast<unsigned long long>(s.cold.count), s.cold.p50_us,
+                s.cold.p95_us, s.cold.p99_us, s.cold.mean_us, s.cold.max_us);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "hit  latency (us): n=%llu p50=%.1f p95=%.1f p99=%.1f "
+                "mean=%.1f max=%.1f",
+                static_cast<unsigned long long>(s.hit.count), s.hit.p50_us,
+                s.hit.p95_us, s.hit.p99_us, s.hit.mean_us, s.hit.max_us);
+  out += buf;
+  return out;
+}
+
+}  // namespace serve
+}  // namespace dbg4eth

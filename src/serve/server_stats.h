@@ -1,0 +1,94 @@
+#ifndef DBG4ETH_SERVE_SERVER_STATS_H_
+#define DBG4ETH_SERVE_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbg4eth {
+namespace serve {
+
+/// \brief Fixed-size uniform reservoir (Vitter's Algorithm R) of latency
+/// samples. Thread-safe; Record is one short critical section.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 4096, uint64_t seed = 0x5eed);
+
+  void Record(double latency_us);
+
+  /// Number of Record calls (not the number retained).
+  uint64_t count() const { return count_.load(); }
+
+  /// q in [0, 1]; nearest-rank percentile over the retained sample.
+  /// Returns 0 when nothing was recorded.
+  double Percentile(double q) const;
+  double MeanUs() const;
+  double MaxUs() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  uint64_t rng_state_;
+  double max_us_ = 0.0;
+  double sum_us_ = 0.0;
+  std::atomic<uint64_t> count_{0};
+};
+
+/// \brief Operational counters and latency distributions of the serving
+/// layer. All mutators are thread-safe; Snapshot gives a consistent-enough
+/// point-in-time view for reporting.
+class ServerStats {
+ public:
+  struct LatencySummary {
+    uint64_t count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  struct Snapshot {
+    uint64_t requests = 0;
+    uint64_t cache_hits = 0;
+    uint64_t errors = 0;
+    uint64_t batches = 0;
+    double avg_batch_size = 0.0;
+    double cache_hit_rate = 0.0;
+    LatencySummary cold;  ///< Full path: materialize + forward pass.
+    LatencySummary hit;   ///< Served from the result cache.
+  };
+
+  ServerStats();
+
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  /// Records one finished request: its end-to-end latency goes into the
+  /// cold or cache-hit reservoir.
+  void RecordRequest(double latency_us, bool cache_hit);
+  void RecordError();
+  void RecordBatch(size_t batch_size);
+
+  Snapshot TakeSnapshot() const;
+
+  /// Multi-line human-readable rendering of a snapshot.
+  static std::string Format(const Snapshot& snapshot);
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  LatencyReservoir cold_latency_;
+  LatencyReservoir hit_latency_;
+};
+
+}  // namespace serve
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_SERVE_SERVER_STATS_H_

@@ -1,0 +1,80 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbg4eth {
+namespace serve {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  const int n = std::max(1, num_threads);
+  num_threads_ = n;
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return shutdown_ || queue_.size() < queue_capacity_;
+  });
+  if (shutdown_) return false;
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  // Serializes concurrent Shutdown callers; `workers_` is only touched by
+  // the constructor and under this lock.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      exceptions_caught_.fetch_add(1);
+    }
+    tasks_executed_.fetch_add(1);
+  }
+}
+
+}  // namespace serve
+}  // namespace dbg4eth

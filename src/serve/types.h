@@ -1,0 +1,45 @@
+#ifndef DBG4ETH_SERVE_TYPES_H_
+#define DBG4ETH_SERVE_TYPES_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "common/status.h"
+#include "eth/types.h"
+
+namespace dbg4eth {
+namespace serve {
+
+/// \brief Outcome of one account-scoring request.
+struct ScoreResult {
+  eth::AccountId address = -1;
+  /// Ledger height (transaction count) the score was computed at.
+  uint64_t ledger_height = 0;
+  /// P(target class) from the loaded Dbg4Eth model.
+  double probability = 0.0;
+  /// True when the score was served from the result cache without
+  /// materializing the subgraph or running the forward pass.
+  bool cache_hit = false;
+  /// End-to-end latency (submit -> resolved), microseconds.
+  double latency_us = 0.0;
+  /// Non-OK when the address cannot be scored (unknown account, degenerate
+  /// subgraph, service shut down).
+  Status status = Status::OK();
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief One in-flight scoring request as it moves through the
+/// RequestQueue into a worker batch.
+struct ScoreRequest {
+  eth::AccountId address = -1;
+  uint64_t ledger_height = 0;
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::shared_ptr<std::promise<ScoreResult>> promise;
+};
+
+}  // namespace serve
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_SERVE_TYPES_H_

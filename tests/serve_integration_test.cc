@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "serve/inference_service.h"
+
+namespace dbg4eth {
+namespace serve {
+namespace {
+
+/// Shared workload: one ledger, one small trained model checkpoint. Built
+/// once — training dominates this file's runtime.
+class ServeIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eth::LedgerConfig lc;
+    lc.num_normal = 600;
+    lc.num_exchange = 14;
+    lc.num_ico_wallet = 10;
+    lc.num_mining = 8;
+    lc.num_phish_hack = 14;
+    lc.num_bridge = 8;
+    lc.num_defi = 8;
+    lc.duration_days = 90.0;
+    lc.seed = 77;
+    ledger_ = new eth::LedgerSimulator(lc);
+    ASSERT_TRUE(ledger_->Generate().ok());
+
+    eth::DatasetConfig dc;
+    dc.target = eth::AccountClass::kExchange;
+    dc.max_positives = 12;
+    dc.sampling = Sampling();
+    dc.num_time_slices = kTimeSlices;
+    dc.seed = 5;
+    auto ds = eth::BuildDataset(*ledger_, dc);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new eth::SubgraphDataset(std::move(ds).ValueOrDie());
+
+    core::Dbg4EthConfig config;
+    config.gsg.hidden_dim = 12;
+    config.gsg.num_heads = 2;
+    config.gsg.epochs = 3;
+    config.gsg.batch_size = 8;
+    config.ldg.hidden_dim = 12;
+    config.ldg.num_time_slices = kTimeSlices;
+    config.ldg.first_level_clusters = 4;
+    config.ldg.epochs = 2;
+    model_ = new core::Dbg4Eth(config);
+    Rng rng(config.seed);
+    const ml::SplitIndices split = ml::StratifiedSplit(
+        dataset_->labels(), config.train_fraction, config.val_fraction, &rng);
+    ASSERT_TRUE(model_->Train(dataset_, split).ok());
+
+    std::stringstream checkpoint;
+    ASSERT_TRUE(model_->Save(&checkpoint).ok());
+    checkpoint_ = new std::string(checkpoint.str());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    delete ledger_;
+    delete checkpoint_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+    ledger_ = nullptr;
+    checkpoint_ = nullptr;
+  }
+
+  static graph::SamplingConfig Sampling() {
+    graph::SamplingConfig sampling;
+    sampling.top_k = 5;
+    sampling.max_nodes = 40;
+    return sampling;
+  }
+
+  static std::unique_ptr<core::Dbg4Eth> LoadModel() {
+    std::stringstream stream(*checkpoint_);
+    auto loaded = core::Dbg4Eth::Load(&stream);
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    return std::move(loaded).ValueOrDie();
+  }
+
+  static InferenceServiceConfig ServiceConfig(int workers) {
+    InferenceServiceConfig config;
+    config.num_workers = workers;
+    config.queue.max_batch = 4;
+    config.queue.max_wait_us = 500;
+    config.cache.capacity = 256;
+    config.cache.num_shards = 4;
+    config.sampling = Sampling();
+    config.num_time_slices = kTimeSlices;
+    return config;
+  }
+
+  static constexpr int kTimeSlices = 4;
+  static eth::LedgerSimulator* ledger_;
+  static eth::SubgraphDataset* dataset_;
+  static core::Dbg4Eth* model_;
+  static std::string* checkpoint_;
+};
+
+eth::LedgerSimulator* ServeIntegrationTest::ledger_ = nullptr;
+eth::SubgraphDataset* ServeIntegrationTest::dataset_ = nullptr;
+core::Dbg4Eth* ServeIntegrationTest::model_ = nullptr;
+std::string* ServeIntegrationTest::checkpoint_ = nullptr;
+
+// --------------------------------------------------------------------------
+// Concurrent PredictProba: the const-path guarantee the serving layer
+// depends on.
+// --------------------------------------------------------------------------
+
+TEST_F(ServeIntegrationTest, ConcurrentPredictProbaMatchesSequential) {
+  auto loaded = LoadModel();
+
+  // Sequential reference over every instance.
+  std::vector<double> expected;
+  for (const auto& inst : dataset_->instances) {
+    expected.push_back(loaded->PredictProba(inst));
+  }
+
+  // >= 4 threads score simultaneously. Thread t scores a distinct stripe
+  // AND the shared instance 0, so both distinct- and shared-instance
+  // concurrency are exercised on one model object.
+  constexpr int kThreads = 6;
+  std::vector<std::vector<std::pair<int, double>>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < dataset_->num_graphs(); i += kThreads) {
+        results[t].push_back({i, loaded->PredictProba(dataset_->instances[i])});
+      }
+      results[t].push_back({0, loaded->PredictProba(dataset_->instances[0])});
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& per_thread : results) {
+    for (const auto& [index, probability] : per_thread) {
+      EXPECT_DOUBLE_EQ(probability, expected[index])
+          << "instance " << index << " diverged under concurrency";
+    }
+  }
+
+  // Two distinct model objects (trainer + restored) racing on the same
+  // instances must also agree with themselves.
+  std::thread other([&] {
+    for (const auto& inst : dataset_->instances) {
+      (void)model_->PredictProba(inst);
+    }
+  });
+  for (const auto& inst : dataset_->instances) {
+    (void)loaded->PredictProba(inst);
+  }
+  other.join();
+}
+
+// --------------------------------------------------------------------------
+// InferenceService end-to-end
+// --------------------------------------------------------------------------
+
+TEST_F(ServeIntegrationTest, ServiceScoresMatchDirectModelCalls) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(2), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 4u);
+
+  for (size_t i = 0; i < 4; ++i) {
+    const eth::AccountId address = exchanges[i];
+    const ScoreResult result = service.Score(address);
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    EXPECT_FALSE(result.cache_hit);
+
+    // Reference: materialize + normalize + predict directly.
+    auto inst = eth::MaterializeInstance(*ledger_, address, Sampling(),
+                                         kTimeSlices);
+    ASSERT_TRUE(inst.ok());
+    model_->Normalize(&inst.ValueOrDie());
+    const double expected = model_->PredictProba(inst.ValueOrDie());
+    EXPECT_DOUBLE_EQ(result.probability, expected);
+  }
+}
+
+TEST_F(ServeIntegrationTest, RepeatQueriesHitTheCache) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(2), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const eth::AccountId address = exchanges.front();
+
+  const ScoreResult cold = service.Score(address);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.cache_hit);
+
+  const ScoreResult warm = service.Score(address);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_DOUBLE_EQ(warm.probability, cold.probability);
+
+  const ServerStats::Snapshot stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.hit.count, 1u);
+  EXPECT_EQ(stats.cold.count, 1u);
+}
+
+TEST_F(ServeIntegrationTest, UnknownAddressResolvesWithErrorNotCrash) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(1), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const ScoreResult result = service.Score(999'999'999);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(service.StatsSnapshot().errors, 1u);
+}
+
+TEST_F(ServeIntegrationTest, ManyConcurrentClientsGetConsistentScores) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(4), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const auto bridges = ledger_->AccountsOfClass(eth::AccountClass::kBridge);
+  std::vector<eth::AccountId> addresses = exchanges;
+  addresses.insert(addresses.end(), bridges.begin(), bridges.end());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 30;
+  std::vector<std::vector<ScoreResult>> per_client(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        per_client[c].push_back(
+            service.Score(addresses[(c + i) % addresses.size()]));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  // Every (address -> probability) pair must be consistent across all
+  // clients and all cache states.
+  std::unordered_map<eth::AccountId, double> canonical;
+  int scored = 0;
+  for (const auto& results : per_client) {
+    for (const ScoreResult& result : results) {
+      if (!result.ok()) continue;
+      ++scored;
+      auto [it, inserted] =
+          canonical.emplace(result.address, result.probability);
+      EXPECT_DOUBLE_EQ(it->second, result.probability)
+          << "address " << result.address << " scored inconsistently";
+    }
+  }
+  EXPECT_GT(scored, 0);
+  const ServerStats::Snapshot stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests + stats.errors,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_GT(stats.cache_hits, 0u);  // Repeat addresses must hit.
+}
+
+TEST_F(ServeIntegrationTest, ShutdownRejectsNewRequestsButKeepsState) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(2), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_TRUE(service.Score(exchanges.front()).ok());
+  service.Shutdown();
+  service.Shutdown();  // Idempotent.
+
+  const ScoreResult rejected = service.Score(exchanges.front());
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_GE(service.StatsSnapshot().requests, 1u);
+}
+
+TEST_F(ServeIntegrationTest, RefreshLedgerHeightInvalidatesCachedScores) {
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(2), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const eth::AccountId address = exchanges.front();
+  ASSERT_FALSE(service.Score(address).cache_hit);
+  ASSERT_TRUE(service.Score(address).cache_hit);
+
+  // The ledger did not actually grow, so the height (and cache) stand.
+  service.RefreshLedgerHeight();
+  EXPECT_TRUE(service.Score(address).cache_hit);
+
+  // Simulate observing a taller ledger: entries keyed at the old height
+  // must no longer be served. (The simulator cannot grow in place, so this
+  // drives the cache contract directly through the service's key space.)
+  const uint64_t old_height = service.ledger_height();
+  ResultCache cache(ResultCacheConfig{16, 2});
+  cache.Put({address, old_height}, 0.42);
+  EXPECT_TRUE(cache.Get({address, old_height}).has_value());
+  cache.InvalidateOlderThan(old_height + 1);
+  EXPECT_FALSE(cache.Get({address, old_height}).has_value());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dbg4eth

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+#include "serve/result_cache.h"
+#include "serve/server_stats.h"
+#include "serve/thread_pool.h"
+
+namespace dbg4eth {
+namespace serve {
+namespace {
+
+using std::chrono::steady_clock;
+
+// --------------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4, 64);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndRejectsNewOnes) {
+  ThreadPool pool(1, 64);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  // Every accepted task ran before Shutdown returned.
+  EXPECT_EQ(counter.load(), 32);
+  // Post-shutdown submissions are rejected, not silently dropped-but-true.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2, 8);
+  pool.Shutdown();
+  pool.Shutdown();  // Second call must not crash or double-join.
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, SurvivesThrowingTasks) {
+  ThreadPool pool(2, 16);
+  std::atomic<int> ok_tasks{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        pool.Submit([] { throw std::runtime_error("task exploded"); }));
+    ASSERT_TRUE(pool.Submit([&ok_tasks] { ok_tasks.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  // Workers swallowed the exceptions and kept executing later tasks.
+  EXPECT_EQ(ok_tasks.load(), 10);
+  EXPECT_EQ(pool.exceptions_caught(), 10u);
+  EXPECT_EQ(pool.tasks_executed(), 20u);
+}
+
+TEST(ThreadPoolTest, TrySubmitFailsWhenQueueFull) {
+  ThreadPool pool(1, 1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Occupy the single worker, then fill the single queue slot.
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }));
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }));
+  bool accepted = pool.TrySubmit([] {});
+  // The worker may have already dequeued the second task; at most one
+  // TrySubmit beyond capacity can be accepted, never two.
+  if (accepted) {
+    EXPECT_FALSE(pool.TrySubmit([] {}));
+  }
+  release.set_value();
+  pool.Shutdown();
+}
+
+// --------------------------------------------------------------------------
+// RequestQueue
+// --------------------------------------------------------------------------
+
+ScoreRequest MakeRequest(eth::AccountId address) {
+  ScoreRequest request;
+  request.address = address;
+  request.ledger_height = 1;
+  request.enqueue_time = steady_clock::now();
+  request.promise = std::make_shared<std::promise<ScoreResult>>();
+  return request;
+}
+
+TEST(RequestQueueTest, FullBatchDispatchesWithoutWaitingForTimeout) {
+  RequestQueueConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 5'000'000;  // 5s: a timeout dispatch would be obvious.
+  RequestQueue queue(config);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.Push(MakeRequest(i)));
+
+  const auto start = steady_clock::now();
+  std::vector<ScoreRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  const double elapsed_s =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(elapsed_s, 1.0);
+}
+
+TEST(RequestQueueTest, PartialBatchDispatchesAfterTimeout) {
+  RequestQueueConfig config;
+  config.max_batch = 16;
+  config.max_wait_us = 30'000;  // 30ms.
+  RequestQueue queue(config);
+  ASSERT_TRUE(queue.Push(MakeRequest(7)));
+
+  const auto start = steady_clock::now();
+  std::vector<ScoreRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].address, 7);
+  // Dispatched at (roughly) the wait bound, not immediately and not never.
+  EXPECT_GE(elapsed_us, 25'000.0);
+  EXPECT_LT(elapsed_us, 5'000'000.0);
+}
+
+TEST(RequestQueueTest, OversizedBacklogIsSplitIntoMaxBatchChunks) {
+  RequestQueueConfig config;
+  config.max_batch = 3;
+  config.max_wait_us = 0;
+  RequestQueue queue(config);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.Push(MakeRequest(i)));
+
+  std::vector<ScoreRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 3u);
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 3u);
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenSignalsExhaustion) {
+  RequestQueueConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 0;
+  RequestQueue queue(config);
+  ASSERT_TRUE(queue.Push(MakeRequest(1)));
+  ASSERT_TRUE(queue.Push(MakeRequest(2)));
+  queue.Close();
+
+  EXPECT_FALSE(queue.Push(MakeRequest(3)));  // Rejected after Close.
+  std::vector<ScoreRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));  // Queued requests stay poppable.
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(queue.PopBatch(&batch));  // Drained + closed -> false.
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedPopper) {
+  RequestQueueConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 10'000'000;
+  RequestQueue queue(config);
+  std::thread popper([&queue] {
+    std::vector<ScoreRequest> batch;
+    EXPECT_FALSE(queue.PopBatch(&batch));  // Woken by Close, nothing queued.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  popper.join();
+}
+
+// --------------------------------------------------------------------------
+// ResultCache
+// --------------------------------------------------------------------------
+
+TEST(ResultCacheTest, PutGetRoundTrip) {
+  ResultCache cache(ResultCacheConfig{16, 2});
+  EXPECT_FALSE(cache.Get({1, 100}).has_value());
+  cache.Put({1, 100}, 0.75);
+  auto got = cache.Get({1, 100});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.75);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, LedgerHeightIsPartOfTheKey) {
+  ResultCache cache(ResultCacheConfig{16, 2});
+  cache.Put({1, 100}, 0.75);
+  // Same address at a taller ledger: must miss — the cached score was
+  // computed on a stale transaction set.
+  EXPECT_FALSE(cache.Get({1, 101}).has_value());
+  ASSERT_TRUE(cache.Get({1, 100}).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateOlderThanDropsStaleHeights) {
+  ResultCache cache(ResultCacheConfig{64, 4});
+  for (int a = 0; a < 10; ++a) cache.Put({a, 100}, 0.5);
+  for (int a = 0; a < 5; ++a) cache.Put({a, 200}, 0.9);
+  EXPECT_EQ(cache.size(), 15u);
+  cache.InvalidateOlderThan(200);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_FALSE(cache.Get({3, 100}).has_value());
+  EXPECT_TRUE(cache.Get({3, 200}).has_value());
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard so the LRU order is globally observable.
+  ResultCache cache(ResultCacheConfig{3, 1});
+  cache.Put({1, 1}, 0.1);
+  cache.Put({2, 1}, 0.2);
+  cache.Put({3, 1}, 0.3);
+  ASSERT_TRUE(cache.Get({1, 1}).has_value());  // Refresh 1; LRU is now 2.
+  cache.Put({4, 1}, 0.4);                      // Evicts 2.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Get({2, 1}).has_value());
+  EXPECT_TRUE(cache.Get({1, 1}).has_value());
+  EXPECT_TRUE(cache.Get({3, 1}).has_value());
+  EXPECT_TRUE(cache.Get({4, 1}).has_value());
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(ResultCacheConfig{128, 8});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const eth::AccountId address = (t * 37 + i) % 200;
+        if (i % 3 == 0) {
+          cache.Put({address, 1}, address * 0.001);
+        } else {
+          auto got = cache.Get({address, 1});
+          if (got) {
+            EXPECT_DOUBLE_EQ(*got, address * 0.001);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// --------------------------------------------------------------------------
+// ServerStats / LatencyReservoir
+// --------------------------------------------------------------------------
+
+TEST(LatencyReservoirTest, ExactPercentilesBelowCapacity) {
+  LatencyReservoir reservoir(1024);
+  for (int i = 1; i <= 100; ++i) reservoir.Record(i);
+  EXPECT_EQ(reservoir.count(), 100u);
+  EXPECT_NEAR(reservoir.Percentile(0.50), 51.0, 1.0);
+  EXPECT_NEAR(reservoir.Percentile(0.95), 96.0, 1.0);
+  EXPECT_NEAR(reservoir.Percentile(0.99), 100.0, 1.0);
+  EXPECT_NEAR(reservoir.MeanUs(), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(reservoir.MaxUs(), 100.0);
+}
+
+TEST(LatencyReservoirTest, ReservoirStaysBoundedAboveCapacity) {
+  LatencyReservoir reservoir(64);
+  for (int i = 0; i < 10000; ++i) reservoir.Record(5.0);
+  EXPECT_EQ(reservoir.count(), 10000u);
+  // Every sample equals 5, so any retained subset agrees.
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(0.99), 5.0);
+}
+
+TEST(ServerStatsTest, CountersAndSnapshot) {
+  ServerStats stats;
+  stats.RecordRequest(1000.0, /*cache_hit=*/false);
+  stats.RecordRequest(1200.0, /*cache_hit=*/false);
+  stats.RecordRequest(10.0, /*cache_hit=*/true);
+  stats.RecordError();
+  stats.RecordBatch(2);
+  stats.RecordBatch(4);
+
+  const ServerStats::Snapshot snapshot = stats.TakeSnapshot();
+  EXPECT_EQ(snapshot.requests, 3u);
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+  EXPECT_EQ(snapshot.errors, 1u);
+  EXPECT_EQ(snapshot.batches, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.avg_batch_size, 3.0);
+  EXPECT_NEAR(snapshot.cache_hit_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(snapshot.cold.count, 2u);
+  EXPECT_EQ(snapshot.hit.count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.hit.max_us, 10.0);
+  EXPECT_GE(snapshot.cold.p50_us, 1000.0);
+  // Renders without crashing and mentions the headline counters.
+  const std::string text = ServerStats::Format(snapshot);
+  EXPECT_NE(text.find("requests=3"), std::string::npos);
+  EXPECT_NE(text.find("cold latency"), std::string::npos);
+}
+
+TEST(ServerStatsTest, ConcurrentRecordingIsSafe) {
+  ServerStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < 1000; ++i) {
+        stats.RecordRequest(100.0 + i, i % 4 == 0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const ServerStats::Snapshot snapshot = stats.TakeSnapshot();
+  EXPECT_EQ(snapshot.requests, 8000u);
+  EXPECT_EQ(snapshot.cache_hits, 2000u);
+  EXPECT_EQ(snapshot.cold.count + snapshot.hit.count, 8000u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dbg4eth
