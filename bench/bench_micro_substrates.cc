@@ -15,8 +15,10 @@
 #include "features/node_features.h"
 #include "gnn/conv.h"
 #include "graph/sampling.h"
+#include "graph/build.h"
 #include "ml/gbdt.h"
 #include "tensor/ops.h"
+#include "tensor/sparse.h"
 
 namespace dbg4eth {
 namespace {
@@ -32,6 +34,50 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Random(n, n, &rng);
+  Matrix b = Matrix::Random(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransA(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransA)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Random(n, n, &rng);
+  Matrix b = Matrix::Random(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(32)->Arg(64)->Arg(128);
+
+// SpMM at the sparsity level of a normalized top-K adjacency (~5% nnz)
+// against the equivalent dense MatMul of BM_MatMul.
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Matrix dense(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (rng.Bernoulli(0.05)) dense.At(r, c) = rng.Uniform();
+    }
+  }
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  Matrix x = Matrix::Random(n, 32, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMM(sparse, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * sparse.nnz() * 32);
+}
+BENCHMARK(BM_SpMM)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_GatForwardBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -96,6 +142,29 @@ BENCHMARK_F(LedgerFixture, FeatureExtraction)(benchmark::State& state) {
   auto sub = graph::SampleSubgraph(*ledger, centers[0], config).ValueOrDie();
   for (auto _ : state) {
     benchmark::DoNotOptimize(features::ComputeNodeFeatures(sub));
+  }
+}
+
+// Cold vs. cached adjacency access: the cold path recomputes D^-1/2 (A+I)
+// D^-1/2 every call (the pre-cache behavior, via a fresh Graph copy), the
+// cached path hits the per-Graph adjacency cache.
+BENCHMARK_F(LedgerFixture, NormalizedAdjacencyCold)(benchmark::State& state) {
+  graph::SamplingConfig config;
+  auto sub = graph::SampleSubgraph(*ledger, centers[0], config).ValueOrDie();
+  const graph::Graph gsg = graph::BuildGlobalStaticGraph(sub);
+  for (auto _ : state) {
+    graph::Graph copy = gsg;  // Copy starts with a cold cache.
+    benchmark::DoNotOptimize(copy.NormalizedAdjacency().rows());
+  }
+}
+
+BENCHMARK_F(LedgerFixture, NormalizedAdjacencyCached)(benchmark::State& state) {
+  graph::SamplingConfig config;
+  auto sub = graph::SampleSubgraph(*ledger, centers[0], config).ValueOrDie();
+  const graph::Graph gsg = graph::BuildGlobalStaticGraph(sub);
+  benchmark::DoNotOptimize(gsg.NormalizedAdjacency().rows());  // Warm.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsg.NormalizedAdjacency().rows());
   }
 }
 

@@ -1,0 +1,79 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace dbg4eth {
+
+namespace {
+
+// Shared state of one fork-join region. Heap-allocated and shared with the
+// worker tasks so a worker that outlives the region's stack frame (e.g. one
+// scheduled after the caller already finished the loop) still touches valid
+// memory.
+struct LoopState {
+  explicit LoopState(int n) : total(n) {}
+
+  const int total;
+  std::atomic<int> next{0};  ///< Work-stealing index counter.
+  std::atomic<int> done{0};  ///< Completed indices (for the join).
+  std::mutex mu;
+  std::condition_variable all_done;
+};
+
+// Drains indices from the counter until the range is exhausted; called from
+// both the pool workers and the caller thread.
+void DrainLoop(const std::shared_ptr<LoopState>& state,
+               const std::function<void(int)>& body) {
+  int completed = 0;
+  for (;;) {
+    const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->total) break;
+    body(i);
+    ++completed;
+  }
+  if (completed == 0) return;
+  const int done_now =
+      state->done.fetch_add(completed, std::memory_order_acq_rel) + completed;
+  if (done_now == state->total) {
+    // Taking the lock orders this notify after the caller's wait, closing
+    // the missed-wakeup window.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->all_done.notify_all();
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 0 || n == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>(n);
+  // No point queueing more helpers than there are indices beyond the
+  // caller's own share.
+  const int helpers = std::min(pool->num_threads(), n - 1);
+  for (int t = 0; t < helpers; ++t) {
+    // TrySubmit: if the queue is full (pool busy with other work), the
+    // caller simply keeps more of the range for itself. `body` is copied
+    // into each task: a helper dequeued after the range is already drained
+    // (and the caller's frame gone) must not touch caller stack.
+    pool->TrySubmit([state, body] { DrainLoop(state, body); });
+  }
+
+  // The caller participates instead of idling, then waits for helpers that
+  // claimed indices to finish them.
+  DrainLoop(state, body);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= state->total;
+  });
+}
+
+}  // namespace dbg4eth

@@ -1,0 +1,31 @@
+#ifndef DBG4ETH_COMMON_PARALLEL_FOR_H_
+#define DBG4ETH_COMMON_PARALLEL_FOR_H_
+
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace dbg4eth {
+
+/// \brief Fork-join index loop over a shared ThreadPool.
+///
+/// Runs `body(i)` for every i in [0, n), distributing indices dynamically
+/// (atomic work-stealing counter) across the pool's workers while the
+/// calling thread participates too, and returns only after every index has
+/// completed. With a null pool (or n <= 1) the loop runs inline on the
+/// caller — the num_threads=1 configuration of the trainers takes exactly
+/// this path, so serial and parallel runs share one code path.
+///
+/// Determinism contract: `body` must write only to per-index state (and
+/// thread-safe shared structures); under that contract the result is
+/// independent of the thread count and of the scheduling order. `body`
+/// must not throw (worker-side exceptions are swallowed by the pool and
+/// would silently drop indices) and must not submit nested ParallelFor
+/// work to the same pool (the caller-participation protocol does not
+/// re-enter the queue, so nesting can deadlock a saturated pool).
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body);
+
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_COMMON_PARALLEL_FOR_H_

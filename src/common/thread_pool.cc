@@ -1,10 +1,9 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
 
 namespace dbg4eth {
-namespace serve {
 
 ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
@@ -76,5 +75,10 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace serve
+int ResolveNumThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 }  // namespace dbg4eth

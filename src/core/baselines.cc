@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "core/gsg_encoder.h"
+#include "core/parallel_trainer.h"
 #include "embed/graph_embedding.h"
 #include "gnn/conv.h"
 #include "gnn/gru.h"
@@ -137,14 +138,31 @@ EvaluationReport TrainGraphModel(
     const BaselineConfig& config, Rng* rng) {
   ag::Adam opt(params, config.learning_rate);
   std::vector<int> order = train_idx;
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, config.batch_size));
+  std::unique_ptr<ThreadPool> pool =
+      MakeTrainerPool(ResolveNumThreads(config.num_threads));
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng->Shuffle(&order);
-    for (int idx : order) {
-      const eth::GraphInstance& inst = dataset.instances[idx];
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      const size_t end = std::min(order.size(), start + batch_size);
+      const int batch_count = static_cast<int>(end - start);
       opt.ZeroGrad();
-      ag::Tensor loss =
-          ag::SoftmaxCrossEntropy(forward(inst), {inst.label});
-      loss.Backward();
+      // Baseline forwards draw no randomness, so the fan-out needs no
+      // per-instance RNG streams; batch_size=1 reproduces the original
+      // per-instance SGD bit-for-bit.
+      ParallelBatchBackward(
+          pool.get(), batch_count,
+          [&](int bi, ag::GradientBuffer* buffer) {
+            const eth::GraphInstance& inst =
+                dataset.instances[order[start + bi]];
+            ag::Tensor loss =
+                ag::SoftmaxCrossEntropy(forward(inst), {inst.label});
+            if (batch_count > 1) {
+              loss = ag::ScalarMul(loss, 1.0 / batch_count);
+            }
+            loss.Backward(buffer);
+          });
       opt.ClipGradNorm(5.0);
       opt.Step();
     }
@@ -300,8 +318,8 @@ Result<EvaluationReport> RunBaseline(BaselineKind kind,
       auto head = std::make_shared<gnn::Linear>(hidden, 2, &rng);
       params = gnn::JoinParameters({conv1.get(), conv2.get(), head.get()});
       forward = [=](const eth::GraphInstance& inst) {
-        ag::Tensor adj =
-            ag::Tensor::Constant(inst.gsg.NormalizedAdjacency());
+        // CSR Â, cached once per graph and shared across epochs/threads.
+        auto adj = inst.gsg.NormalizedAdjacencySparse();
         ag::Tensor h = ag::Relu(conv1->Forward(adj, node_input(inst)));
         h = ag::Relu(conv2->Forward(adj, h));
         return head->Forward(ag::MeanPoolRows(h));
@@ -319,9 +337,11 @@ Result<EvaluationReport> RunBaseline(BaselineKind kind,
                                                 2, &rng);
       params = gnn::JoinParameters({conv1.get(), conv2.get(), head.get()});
       forward = [=](const eth::GraphInstance& inst) {
-        const Matrix mask = inst.gsg.AttentionMask();
-        ag::Tensor h = ag::Elu(conv1->Forward(node_input(inst), mask));
-        h = ag::Elu(conv2->Forward(h, mask));
+        const Matrix& mask = inst.gsg.AttentionMask();
+        const auto support = inst.gsg.AttentionMaskSparse();
+        ag::Tensor h =
+            ag::Elu(conv1->Forward(node_input(inst), mask, support));
+        h = ag::Elu(conv2->Forward(h, mask, support));
         return head->Forward(ag::MeanPoolRows(h));
       };
       break;
@@ -364,9 +384,10 @@ Result<EvaluationReport> RunBaseline(BaselineKind kind,
       auto head = std::make_shared<gnn::Linear>(hidden, 2, &rng);
       params = gnn::JoinParameters({model.get(), head.get()});
       forward = [=](const eth::GraphInstance& inst) {
-        ag::Tensor adj =
-            ag::Tensor::Constant(inst.gsg.NormalizedAdjacency());
-        ag::Tensor h = model->Forward(adj, node_input(inst));
+        // CSR Â, cached once per graph and shared across epochs/threads.
+        ag::Tensor h =
+            model->Forward(inst.gsg.NormalizedAdjacencySparse(),
+                           node_input(inst));
         return head->Forward(ag::MeanPoolRows(h));
       };
       break;

@@ -5,6 +5,7 @@
 
 #include "augment/contrastive.h"
 #include "common/logging.h"
+#include "core/parallel_trainer.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -66,12 +67,13 @@ Matrix GsgEncoder::BuildNodeInput(const graph::Graph& g) {
 
 ag::Tensor GsgEncoder::EmbedGraph(const graph::Graph& g, bool training,
                                   Rng* rng) const {
-  const Matrix mask = g.AttentionMask();
+  const Matrix& mask = g.AttentionMask();
+  const auto support = g.AttentionMaskSparse();
   ag::Tensor h = ag::Tensor::Constant(BuildNodeInput(g));
   // Eq. 6: linear alignment + LeakyReLU.
   h = ag::LeakyRelu(align_->Forward(h));
   for (const auto& gat : gat_layers_) {
-    h = ag::Elu(gat->Forward(h, mask));
+    h = ag::Elu(gat->Forward(h, mask, support));
     if (training && config_.dropout > 0.0) {
       h = ag::Dropout(h, config_.dropout, rng, training);
     }
@@ -109,6 +111,8 @@ Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
   }
   ag::Adam opt(Parameters(), config_.learning_rate);
   std::vector<int> order = train_indices;
+  std::unique_ptr<ThreadPool> pool =
+      MakeTrainerPool(ResolveNumThreads(config_.num_threads));
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(&order);
@@ -116,39 +120,56 @@ Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
          start += config_.batch_size) {
       const size_t end =
           std::min(order.size(), start + config_.batch_size);
+      const int batch_count = static_cast<int>(end - start);
       opt.ZeroGrad();
-      ag::Tensor total_loss;
-      std::vector<ag::Tensor> view1_embs, view2_embs;
-      int batch_count = 0;
-      for (size_t i = start; i < end; ++i) {
-        const eth::GraphInstance& inst = dataset.instances[order[i]];
-        ag::Tensor emb = EmbedGraph(inst.gsg, /*training=*/true, &rng_);
-        ag::Tensor loss =
-            ag::SoftmaxCrossEntropy(Logits(emb), {inst.label});
-        total_loss = batch_count == 0 ? loss : ag::Add(total_loss, loss);
-        ++batch_count;
-        if (config_.use_contrastive) {
-          const graph::Graph v1 =
-              augment::AugmentGraph(inst.gsg, config_.view1, &rng_);
-          const graph::Graph v2 =
-              augment::AugmentGraph(inst.gsg, config_.view2, &rng_);
-          view1_embs.push_back(EmbedGraph(v1, /*training=*/true, &rng_));
-          view2_embs.push_back(EmbedGraph(v2, /*training=*/true, &rng_));
-        }
-      }
-      if (batch_count == 0) continue;
-      total_loss = ag::ScalarMul(total_loss, 1.0 / batch_count);
-      // NT-Xent needs at least two graphs in the batch to have negatives.
-      if (config_.use_contrastive && view1_embs.size() >= 2) {
+
+      // One RNG per instance, forked from the trainer stream on this
+      // thread in instance order: the randomness each instance sees
+      // (dropout masks, augmentation draws) does not depend on the thread
+      // count or on scheduling.
+      std::vector<Rng> rngs;
+      rngs.reserve(batch_count);
+      for (int bi = 0; bi < batch_count; ++bi) rngs.push_back(rng_.Fork());
+
+      // Per-instance slots for the contrastive view embeddings; the tapes
+      // built on worker threads stay alive until the NT-Xent backward
+      // below.
+      std::vector<ag::Tensor> view1_embs(batch_count);
+      std::vector<ag::Tensor> view2_embs(batch_count);
+
+      // Classification term: each instance backwards its 1/B-scaled loss
+      // into a private gradient buffer (same mean-loss gradient as the
+      // seed's sum-then-scale, accumulated per instance).
+      ParallelBatchBackward(
+          pool.get(), batch_count,
+          [&](int bi, ag::GradientBuffer* buffer) {
+            const eth::GraphInstance& inst =
+                dataset.instances[order[start + bi]];
+            Rng* rng = &rngs[bi];
+            ag::Tensor emb = EmbedGraph(inst.gsg, /*training=*/true, rng);
+            ag::Tensor loss =
+                ag::SoftmaxCrossEntropy(Logits(emb), {inst.label});
+            ag::ScalarMul(loss, 1.0 / batch_count).Backward(buffer);
+            if (config_.use_contrastive) {
+              const graph::Graph v1 =
+                  augment::AugmentGraph(inst.gsg, config_.view1, rng);
+              const graph::Graph v2 =
+                  augment::AugmentGraph(inst.gsg, config_.view2, rng);
+              view1_embs[bi] = EmbedGraph(v1, /*training=*/true, rng);
+              view2_embs[bi] = EmbedGraph(v2, /*training=*/true, rng);
+            }
+          });
+
+      // NT-Xent couples all views of the batch, so it runs (and backwards,
+      // unbuffered) on this thread after the join. It needs at least two
+      // graphs in the batch to have negatives.
+      if (config_.use_contrastive && batch_count >= 2) {
         ag::Tensor z1 = ag::ConcatRowsList(view1_embs);
         ag::Tensor z2 = ag::ConcatRowsList(view2_embs);
         ag::Tensor contrastive =
             augment::NtXentLoss(z1, z2, config_.temperature);
-        total_loss = ag::Add(
-            total_loss,
-            ag::ScalarMul(contrastive, config_.contrastive_weight));
+        ag::ScalarMul(contrastive, config_.contrastive_weight).Backward();
       }
-      total_loss.Backward();
       opt.ClipGradNorm(config_.grad_clip);
       opt.Step();
     }

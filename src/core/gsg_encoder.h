@@ -44,6 +44,12 @@ struct GsgEncoderConfig {
   int batch_size = 16;
   double grad_clip = 5.0;
   uint64_t seed = 1;
+
+  /// Worker threads for intra-batch data parallelism (instances of a batch
+  /// run forward+backward concurrently; gradients are reduced in instance
+  /// order, so results are identical for every value). 0 = one per
+  /// hardware thread. Not part of the checkpoint format.
+  int num_threads = 1;
 };
 
 /// \brief GSG encoder: node feature alignment (Eq. 6), a stack of GAT

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/parallel_trainer.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -48,20 +49,21 @@ ag::Tensor LdgEncoder::EmbedSlices(
   pooled_per_slice.reserve(slices.size());
   for (const graph::Graph& slice : slices) {
     // Eq. 14: U_t = GCN(h_{t-1}, A_t) on the value-weighted slice topology.
-    ag::Tensor adj = ag::Tensor::Constant(slice.WeightedAdjacency());
+    // The slice adjacency is a constant, so message passing runs on the
+    // cached CSR form (bit-identical to the dense product).
+    const auto adj = slice.WeightedAdjacencySparse();
     ag::Tensor u_t = ag::Relu(topo_gcn_->Forward(adj, h));
     // Eq. 15-18: evolutionary update.
     h = gru_->Forward(u_t, h);
 
-    // Eq. 19-21: DiffPool pyramid down to one node for this slice.
-    ag::Tensor level_feats = h;
-    ag::Tensor level_adj = adj;
-    for (const auto& pool : pools_) {
-      gnn::DiffPool::Output out = pool->Forward(level_adj, level_feats);
-      level_feats = out.features;
-      level_adj = out.adjacency;
+    // Eq. 19-21: DiffPool pyramid down to one node for this slice. The
+    // first level pools the constant sparse adjacency; deeper levels pool
+    // the differentiable dense output of the previous level.
+    gnn::DiffPool::Output pooled = pools_.front()->Forward(adj, h);
+    for (size_t level = 1; level < pools_.size(); ++level) {
+      pooled = pools_[level]->Forward(pooled.adjacency, pooled.features);
     }
-    pooled_per_slice.push_back(level_feats);  // 1 x hidden
+    pooled_per_slice.push_back(pooled.features);  // 1 x hidden
   }
 
   // Eq. 22: adaptive time-slice weights.
@@ -107,14 +109,32 @@ Status LdgEncoder::Train(const eth::SubgraphDataset& dataset,
   }
   ag::Adam opt(Parameters(), config_.learning_rate);
   std::vector<int> order = train_indices;
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, config_.batch_size));
+  std::unique_ptr<ThreadPool> pool =
+      MakeTrainerPool(ResolveNumThreads(config_.num_threads));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(&order);
-    for (int idx : order) {
-      const eth::GraphInstance& inst = dataset.instances[idx];
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      const size_t end = std::min(order.size(), start + batch_size);
+      const int batch_count = static_cast<int>(end - start);
       opt.ZeroGrad();
-      ag::Tensor loss = ag::SoftmaxCrossEntropy(
-          Logits(EmbedSlices(inst.ldg)), {inst.label});
-      loss.Backward();
+      // The LDG forward pass draws no randomness, so instances need no
+      // forked RNG streams; the batch mean gradient is reduced in instance
+      // order (thread-count independent). batch_size=1 reproduces the
+      // original per-instance SGD bit-for-bit.
+      ParallelBatchBackward(
+          pool.get(), batch_count,
+          [&](int bi, ag::GradientBuffer* buffer) {
+            const eth::GraphInstance& inst =
+                dataset.instances[order[start + bi]];
+            ag::Tensor loss = ag::SoftmaxCrossEntropy(
+                Logits(EmbedSlices(inst.ldg)), {inst.label});
+            if (batch_count > 1) {
+              loss = ag::ScalarMul(loss, 1.0 / batch_count);
+            }
+            loss.Backward(buffer);
+          });
       opt.ClipGradNorm(config_.grad_clip);
       opt.Step();
     }

@@ -31,8 +31,17 @@ struct LdgEncoderConfig {
 
   int epochs = 8;
   double learning_rate = 0.01;
+  /// Instances per optimizer step. The default of 1 reproduces the
+  /// original per-instance SGD exactly; larger batches average the
+  /// per-instance gradients (and unlock intra-batch parallelism).
+  int batch_size = 1;
   double grad_clip = 5.0;
   uint64_t seed = 2;
+
+  /// Worker threads for intra-batch data parallelism; effective only with
+  /// batch_size > 1. 0 = one per hardware thread. Not part of the
+  /// checkpoint format.
+  int num_threads = 1;
 };
 
 /// \brief LDG encoder: per time slice a GCN over the slice topology fed by

@@ -1,0 +1,27 @@
+#include "core/parallel_trainer.h"
+
+#include <vector>
+
+namespace dbg4eth {
+namespace core {
+
+std::unique_ptr<ThreadPool> MakeTrainerPool(int num_threads) {
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads - 1);
+}
+
+void ParallelBatchBackward(
+    ThreadPool* pool, int batch_count,
+    const std::function<void(int, ag::GradientBuffer*)>& body) {
+  if (batch_count <= 0) return;
+  std::vector<ag::GradientBuffer> buffers(batch_count);
+  ParallelFor(pool, batch_count,
+              [&](int bi) { body(bi, &buffers[bi]); });
+  // Fixed reduction order = thread-count-independent gradients.
+  for (ag::GradientBuffer& buffer : buffers) {
+    buffer.ReduceInto();
+  }
+}
+
+}  // namespace core
+}  // namespace dbg4eth

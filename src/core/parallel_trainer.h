@@ -1,0 +1,41 @@
+#ifndef DBG4ETH_CORE_PARALLEL_TRAINER_H_
+#define DBG4ETH_CORE_PARALLEL_TRAINER_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace dbg4eth {
+namespace core {
+
+/// Worker pool for a trainer configured with `num_threads` (already
+/// resolved via ResolveNumThreads). Returns null for num_threads <= 1 — the
+/// serial path needs no pool. The pool holds num_threads - 1 workers
+/// because ParallelFor's calling thread participates in the loop.
+std::unique_ptr<ThreadPool> MakeTrainerPool(int num_threads);
+
+/// \brief Intra-batch data parallelism for the gradient-descent trainers.
+///
+/// Runs `body(bi, buffer)` for every instance bi of the batch, fanned out
+/// over `pool` (inline when null). `body` builds the instance's forward
+/// pass and calls `loss.Backward(buffer)`, so each worker accumulates leaf
+/// (parameter) gradients into its private GradientBuffer; afterwards the
+/// buffers are reduced into the shared parameter gradients in instance
+/// order on the calling thread.
+///
+/// Determinism: because each instance's gradient is accumulated privately
+/// and the reduction order is fixed, the summed gradient is bit-identical
+/// for every thread count (given per-instance RNG streams — fork them from
+/// the trainer RNG on the calling thread before fanning out). `body` must
+/// only touch per-instance state besides the (read-only) shared parameters.
+void ParallelBatchBackward(
+    ThreadPool* pool, int batch_count,
+    const std::function<void(int, ag::GradientBuffer*)>& body);
+
+}  // namespace core
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_CORE_PARALLEL_TRAINER_H_

@@ -29,6 +29,11 @@ struct DatasetConfig {
   /// Number of LDG time slices T (paper uses 10).
   int num_time_slices = 10;
   uint64_t seed = 7;
+  /// Worker threads for subgraph materialization. Center selection stays
+  /// serial (and the output is byte-identical for every value — parallel
+  /// candidates are speculatively materialized and committed in the serial
+  /// order); 0 = one per hardware thread.
+  int num_threads = 1;
 };
 
 /// \brief One classification instance: the sampled subgraph plus its GSG

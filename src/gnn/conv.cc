@@ -15,6 +15,11 @@ ag::Tensor GcnConv::Forward(const ag::Tensor& adj, const ag::Tensor& x) const {
   return ag::MatMul(adj, linear_.Forward(x));
 }
 
+ag::Tensor GcnConv::Forward(std::shared_ptr<const SparseMatrix> adj,
+                            const ag::Tensor& x) const {
+  return ag::SpMM(std::move(adj), linear_.Forward(x));
+}
+
 std::vector<ag::Tensor> GcnConv::Parameters() const {
   return linear_.Parameters();
 }
@@ -35,6 +40,12 @@ GatConv::GatConv(int in_features, int out_features, int num_heads, Rng* rng,
 }
 
 ag::Tensor GatConv::Forward(const ag::Tensor& x, const Matrix& mask) const {
+  return Forward(x, mask, nullptr);
+}
+
+ag::Tensor GatConv::Forward(
+    const ag::Tensor& x, const Matrix& mask,
+    const std::shared_ptr<const SparseMatrix>& support) const {
   ag::Tensor out;
   for (int h = 0; h < num_heads_; ++h) {
     ag::Tensor hw = ag::MatMul(x, weights_[h]);
@@ -43,7 +54,8 @@ ag::Tensor GatConv::Forward(const ag::Tensor& x, const Matrix& mask) const {
     ag::Tensor scores =
         ag::LeakyRelu(ag::PairwiseSum(u, v), negative_slope_);
     ag::Tensor alpha = ag::MaskedSoftmaxRows(scores, mask);
-    ag::Tensor head = ag::MatMul(alpha, hw);
+    ag::Tensor head = support != nullptr ? ag::MaskedSpMatMul(support, alpha, hw)
+                                         : ag::MatMul(alpha, hw);
     out = h == 0 ? head : ag::ConcatCols(out, head);
   }
   return out;
@@ -108,6 +120,17 @@ ag::Tensor Appnp::Forward(const ag::Tensor& norm_adj,
   ag::Tensor z = h;
   for (int k = 0; k < k_steps_; ++k) {
     z = ag::Add(ag::ScalarMul(ag::MatMul(norm_adj, z), 1.0 - alpha_),
+                ag::ScalarMul(h, alpha_));
+  }
+  return z;
+}
+
+ag::Tensor Appnp::Forward(std::shared_ptr<const SparseMatrix> norm_adj,
+                          const ag::Tensor& x) const {
+  ag::Tensor h = fc2_.Forward(ag::Relu(fc1_.Forward(x)));
+  ag::Tensor z = h;
+  for (int k = 0; k < k_steps_; ++k) {
+    z = ag::Add(ag::ScalarMul(ag::SpMM(norm_adj, z), 1.0 - alpha_),
                 ag::ScalarMul(h, alpha_));
   }
   return z;

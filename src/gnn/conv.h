@@ -6,6 +6,7 @@
 
 #include "gnn/linear.h"
 #include "gnn/module.h"
+#include "tensor/sparse.h"
 
 namespace dbg4eth {
 
@@ -23,6 +24,12 @@ class GcnConv : public Module {
   GcnConv(int in_features, int out_features, Rng* rng);
 
   ag::Tensor Forward(const ag::Tensor& adj, const ag::Tensor& x) const;
+
+  /// Sparse propagation: Â in CSR form (constant, e.g. the cached
+  /// Graph::NormalizedAdjacencySparse()). The dense overload remains for
+  /// differentiable adjacencies (DiffPool's pooled Â).
+  ag::Tensor Forward(std::shared_ptr<const SparseMatrix> adj,
+                     const ag::Tensor& x) const;
 
   std::vector<ag::Tensor> Parameters() const override;
 
@@ -43,6 +50,13 @@ class GatConv : public Module {
 
   /// `mask` is the attention support (adjacency + self loops).
   ag::Tensor Forward(const ag::Tensor& x, const Matrix& mask) const;
+
+  /// Mask-sparse variant: `support` is the CSR form of `mask` (from
+  /// Graph::AttentionMaskSparse()); the alpha @ hW head product and its
+  /// backward only touch support entries. Final parameter gradients are
+  /// bit-identical to the dense overload.
+  ag::Tensor Forward(const ag::Tensor& x, const Matrix& mask,
+                     const std::shared_ptr<const SparseMatrix>& support) const;
 
   std::vector<ag::Tensor> Parameters() const override;
 
@@ -97,6 +111,10 @@ class Appnp : public Module {
         double alpha, Rng* rng);
 
   ag::Tensor Forward(const ag::Tensor& norm_adj, const ag::Tensor& x) const;
+
+  /// Sparse propagation with a constant CSR Â.
+  ag::Tensor Forward(std::shared_ptr<const SparseMatrix> norm_adj,
+                     const ag::Tensor& x) const;
 
   std::vector<ag::Tensor> Parameters() const override;
 

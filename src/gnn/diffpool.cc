@@ -22,6 +22,19 @@ DiffPool::Output DiffPool::Forward(const ag::Tensor& adj,
   return out;
 }
 
+DiffPool::Output DiffPool::Forward(std::shared_ptr<const SparseMatrix> adj,
+                                   const ag::Tensor& h) const {
+  ag::Tensor assign = ag::SoftmaxRows(assign_gnn_.Forward(adj, h));
+  ag::Tensor assign_t = ag::Transpose(assign);
+  Output out;
+  out.features = ag::MatMul(assign_t, h);
+  // M^T A = (A^T M)^T with the sparse transposed kernel; the trailing
+  // product against M is a small dense c x N x c matmul.
+  out.adjacency =
+      ag::MatMul(ag::Transpose(ag::SpMMTransA(adj, assign)), assign);
+  return out;
+}
+
 std::vector<ag::Tensor> DiffPool::Parameters() const {
   return assign_gnn_.Parameters();
 }

@@ -29,6 +29,12 @@ class DiffPool : public Module {
   /// adjacency (deeper levels).
   Output Forward(const ag::Tensor& adj, const ag::Tensor& h) const;
 
+  /// First-level overload for a constant CSR adjacency: assignment and both
+  /// pooled products run through SpMM kernels. Bit-identical to the dense
+  /// overload on adj->ToDense().
+  Output Forward(std::shared_ptr<const SparseMatrix> adj,
+                 const ag::Tensor& h) const;
+
   std::vector<ag::Tensor> Parameters() const override;
 
   int num_clusters() const { return num_clusters_; }

@@ -21,27 +21,105 @@ Matrix Graph::DenseAdjacency(bool symmetric, bool self_loops) const {
   return adj;
 }
 
-Matrix Graph::NormalizedAdjacency() const {
-  Matrix adj = DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
-  std::vector<double> inv_sqrt_deg(num_nodes);
-  for (int i = 0; i < num_nodes; ++i) {
+namespace {
+
+Matrix ComputeNormalizedAdjacency(const Graph& g) {
+  Matrix adj = g.DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+  const int n = g.num_nodes;
+  std::vector<double> inv_sqrt_deg(n);
+  for (int i = 0; i < n; ++i) {
     double deg = 0.0;
-    for (int j = 0; j < num_nodes; ++j) deg += adj.At(i, j);
+    for (int j = 0; j < n; ++j) deg += adj.At(i, j);
     inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
   }
-  for (int i = 0; i < num_nodes; ++i) {
-    for (int j = 0; j < num_nodes; ++j) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
       adj.At(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
     }
   }
   return adj;
 }
 
-Matrix Graph::AttentionMask() const {
-  return DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+}  // namespace
+
+const Matrix& Graph::NormalizedAdjacency() const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.normalized.has_value()) {
+    cache.normalized = ComputeNormalizedAdjacency(*this);
+  }
+  return *cache.normalized;
 }
 
-Matrix Graph::WeightedAdjacency(int value_column) const {
+std::shared_ptr<const SparseMatrix> Graph::NormalizedAdjacencySparse() const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.normalized_sparse == nullptr) {
+    if (!cache.normalized.has_value()) {
+      cache.normalized = ComputeNormalizedAdjacency(*this);
+    }
+    cache.normalized_sparse =
+        std::make_shared<SparseMatrix>(SparseMatrix::FromDense(*cache.normalized));
+  }
+  return cache.normalized_sparse;
+}
+
+const Matrix& Graph::AttentionMask() const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.attention_mask.has_value()) {
+    cache.attention_mask =
+        DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+  }
+  return *cache.attention_mask;
+}
+
+std::shared_ptr<const SparseMatrix> Graph::AttentionMaskSparse() const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.attention_mask_sparse == nullptr) {
+    if (!cache.attention_mask.has_value()) {
+      cache.attention_mask =
+          DenseAdjacency(/*symmetric=*/true, /*self_loops=*/true);
+    }
+    cache.attention_mask_sparse = std::make_shared<SparseMatrix>(
+        SparseMatrix::FromDense(*cache.attention_mask));
+  }
+  return cache.attention_mask_sparse;
+}
+
+const Matrix& Graph::WeightedAdjacency(int value_column) const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.weighted.find(value_column);
+  if (it == cache.weighted.end()) {
+    it = cache.weighted.emplace(value_column, ComputeWeightedAdjacency(value_column))
+             .first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const SparseMatrix> Graph::WeightedAdjacencySparse(
+    int value_column) const {
+  const internal::AdjacencyCache& cache = adjacency_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.weighted_sparse.find(value_column);
+  if (it == cache.weighted_sparse.end()) {
+    auto dense = cache.weighted.find(value_column);
+    if (dense == cache.weighted.end()) {
+      dense = cache.weighted
+                  .emplace(value_column, ComputeWeightedAdjacency(value_column))
+                  .first;
+    }
+    it = cache.weighted_sparse
+             .emplace(value_column, std::make_shared<SparseMatrix>(
+                                        SparseMatrix::FromDense(dense->second)))
+             .first;
+  }
+  return it->second;
+}
+
+Matrix Graph::ComputeWeightedAdjacency(int value_column) const {
   Matrix adj(num_nodes, num_nodes);
   for (int m = 0; m < num_edges(); ++m) {
     const Edge& e = edges[m];

@@ -125,6 +125,10 @@ bool Matrix::AllFinite() const {
 
 std::string Matrix::ToString(int precision) const {
   std::string out = StrFormat("Matrix(%d x %d)\n", rows_, cols_);
+  // ~"-12.<precision>" per entry plus brackets; one upfront reservation
+  // keeps the loop from re-growing (and re-copying) the string per row.
+  out.reserve(out.size() + static_cast<size_t>(rows_) *
+                               (static_cast<size_t>(cols_) * (precision + 8) + 4));
   for (int r = 0; r < rows_; ++r) {
     out += "[";
     for (int c = 0; c < cols_; ++c) {
@@ -148,8 +152,40 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
-  // ikj loop order: streams over rows of b and out for cache friendliness.
-  for (int i = 0; i < n; ++i) {
+  // ikj order (streams rows of b and out), register-blocked over 4 rows of
+  // a: each row of b loaded once feeds 4 output rows. The zero test moves
+  // from per-element to per-block — it still skips the fully-masked rows
+  // that attention masking produces (a masked GAT alpha row is all zeros
+  // across the whole block only if all 4 rows mask that column, which is
+  // the common case for padded/disconnected nodes) without paying a branch
+  // per multiply in the dense case.
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a.RowPtr(i);
+    const double* a1 = a.RowPtr(i + 1);
+    const double* a2 = a.RowPtr(i + 2);
+    const double* a3 = a.RowPtr(i + 3);
+    double* o0 = out->RowPtr(i);
+    double* o1 = out->RowPtr(i + 1);
+    double* o2 = out->RowPtr(i + 2);
+    double* o3 = out->RowPtr(i + 3);
+    for (int kk = 0; kk < k; ++kk) {
+      const double v0 = a0[kk];
+      const double v1 = a1[kk];
+      const double v2 = a2[kk];
+      const double v3 = a3[kk];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      const double* brow = b.RowPtr(kk);
+      for (int j = 0; j < m; ++j) {
+        const double bj = brow[j];
+        o0[j] += v0 * bj;
+        o1[j] += v1 * bj;
+        o2[j] += v2 * bj;
+        o3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < n; ++i) {  // Remainder rows (n % 4), scalar.
     const double* arow = a.RowPtr(i);
     double* orow = out->RowPtr(i);
     for (int kk = 0; kk < k; ++kk) {
@@ -164,12 +200,51 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  DBG4ETH_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
+  MatMulTransAAccumulate(a, b, &out);
+  return out;
+}
+
+void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* out_p) {
+  DBG4ETH_CHECK_EQ(a.rows(), b.rows());
+  DBG4ETH_CHECK_EQ(out_p->rows(), a.cols());
+  DBG4ETH_CHECK_EQ(out_p->cols(), b.cols());
+  Matrix& out = *out_p;
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
-  for (int i = 0; i < n; ++i) {
+  // Four rank-1 updates fused per pass: each output row is loaded and
+  // stored once per 4 input rows instead of once per input row. The
+  // per-element adds stay in ascending-i order (sequential `acc +=`), so
+  // results are bit-identical to the unblocked kernel.
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a.RowPtr(i);
+    const double* a1 = a.RowPtr(i + 1);
+    const double* a2 = a.RowPtr(i + 2);
+    const double* a3 = a.RowPtr(i + 3);
+    const double* b0 = b.RowPtr(i);
+    const double* b1 = b.RowPtr(i + 1);
+    const double* b2 = b.RowPtr(i + 2);
+    const double* b3 = b.RowPtr(i + 3);
+    for (int kk = 0; kk < k; ++kk) {
+      const double v0 = a0[kk];
+      const double v1 = a1[kk];
+      const double v2 = a2[kk];
+      const double v3 = a3[kk];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* orow = out.RowPtr(kk);
+      for (int j = 0; j < m; ++j) {
+        double acc = orow[j];
+        acc += v0 * b0[j];
+        acc += v1 * b1[j];
+        acc += v2 * b2[j];
+        acc += v3 * b3[j];
+        orow[j] = acc;
+      }
+    }
+  }
+  for (; i < n; ++i) {  // Remainder rows (n % 4), scalar.
     const double* arow = a.RowPtr(i);
     const double* brow = b.RowPtr(i);
     for (int kk = 0; kk < k; ++kk) {
@@ -181,26 +256,54 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
       }
     }
   }
-  return out;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  DBG4ETH_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
+  MatMulTransBAccumulate(a, b, &out);
+  return out;
+}
+
+void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* out_p) {
+  DBG4ETH_CHECK_EQ(a.cols(), b.cols());
+  DBG4ETH_CHECK_EQ(out_p->rows(), a.rows());
+  DBG4ETH_CHECK_EQ(out_p->cols(), b.rows());
+  Matrix& out = *out_p;
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.rows();
+  // 4 independent dot products per pass over a's row: arow[kk] is loaded
+  // once per 4 output columns, and the 4 accumulator chains break the
+  // add-latency dependency of a single running sum.
   for (int i = 0; i < n; ++i) {
     const double* arow = a.RowPtr(i);
     double* orow = out.RowPtr(i);
-    for (int j = 0; j < m; ++j) {
+    int j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const double* b0 = b.RowPtr(j);
+      const double* b1 = b.RowPtr(j + 1);
+      const double* b2 = b.RowPtr(j + 2);
+      const double* b3 = b.RowPtr(j + 3);
+      double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        c0 += av * b0[kk];
+        c1 += av * b1[kk];
+        c2 += av * b2[kk];
+        c3 += av * b3[kk];
+      }
+      orow[j] += c0;
+      orow[j + 1] += c1;
+      orow[j + 2] += c2;
+      orow[j + 3] += c3;
+    }
+    for (; j < m; ++j) {  // Remainder columns (m % 4), scalar.
       const double* brow = b.RowPtr(j);
       double acc = 0.0;
       for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[j] = acc;
+      orow[j] += acc;
     }
   }
-  return out;
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {

@@ -4,6 +4,16 @@
 #include <string>
 #include <vector>
 
+// Opt-in bounds checking for the hot accessors (enabled by the tsan CMake
+// preset). Kept out of release builds: At/RowPtr sit inside the matmul
+// kernels' inner loops.
+#ifdef DBG4ETH_DEBUG_CHECKS
+#include <cassert>
+#define DBG4ETH_DCHECK_BOUNDS(cond) assert(cond)
+#else
+#define DBG4ETH_DCHECK_BOUNDS(cond) ((void)0)
+#endif
+
 namespace dbg4eth {
 
 class Rng;
@@ -43,8 +53,12 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double& At(int r, int c) {
+    DBG4ETH_DCHECK_BOUNDS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
   double At(int r, int c) const {
+    DBG4ETH_DCHECK_BOUNDS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   double& operator()(int r, int c) { return At(r, c); }
@@ -52,8 +66,13 @@ class Matrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  /// r == rows() is allowed: one-past-the-end pointer (used by SliceRows).
+  double* RowPtr(int r) {
+    DBG4ETH_DCHECK_BOUNDS(r >= 0 && r <= rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const double* RowPtr(int r) const {
+    DBG4ETH_DCHECK_BOUNDS(r >= 0 && r <= rows_);
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 
@@ -104,8 +123,15 @@ Matrix MatMul(const Matrix& a, const Matrix& b);
 void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = a^T * b without materializing the transpose.
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// Accumulates a^T @ b into *out (must be pre-shaped) — the allocation-free
+/// form the backward pass uses to add dB = A^T @ dOut straight onto a
+/// gradient buffer.
+void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = a * b^T without materializing the transpose.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+/// Accumulates a @ b^T into *out (must be pre-shaped) — the allocation-free
+/// form the backward pass uses for dA = dOut @ B^T.
+void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
 
 Matrix Add(const Matrix& a, const Matrix& b);
 Matrix Sub(const Matrix& a, const Matrix& b);

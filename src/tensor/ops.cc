@@ -35,8 +35,9 @@ Tensor MakeNode(Matrix value, std::vector<Tensor> parents,
 }
 
 Matrix& ParentGrad(TensorNode* node, int i) {
-  node->parents[i]->EnsureGrad();
-  return node->parents[i]->grad;
+  // All leaf-gradient writes funnel through here; GradAccumTarget swaps in
+  // the calling thread's GradientBuffer slot during buffered backward.
+  return internal::GradAccumTarget(node->parents[i].get());
 }
 
 const Matrix& ParentValue(TensorNode* node, int i) {
@@ -57,14 +58,59 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const Matrix& g = n->grad;
         if (ParentRequires(n, 0)) {
           // dA = dOut @ B^T
-          ParentGrad(n, 0).AddInPlace(MatMulTransB(g, ParentValue(n, 1)));
+          MatMulTransBAccumulate(g, ParentValue(n, 1), &ParentGrad(n, 0));
         }
         if (ParentRequires(n, 1)) {
           // dB = A^T @ dOut
-          ParentGrad(n, 1).AddInPlace(MatMulTransA(ParentValue(n, 0), g));
+          MatMulTransAAccumulate(ParentValue(n, 0), g, &ParentGrad(n, 1));
         }
       },
       "matmul");
+}
+
+Tensor SpMM(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
+  DBG4ETH_CHECK(a != nullptr);
+  Matrix out = dbg4eth::SpMM(*a, x.value());
+  return MakeNode(
+      std::move(out), {x},
+      [a](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          ParentGrad(n, 0).AddInPlace(dbg4eth::SpMMTransA(*a, n->grad));
+        }
+      },
+      "spmm");
+}
+
+Tensor SpMMTransA(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
+  DBG4ETH_CHECK(a != nullptr);
+  Matrix out = dbg4eth::SpMMTransA(*a, x.value());
+  return MakeNode(
+      std::move(out), {x},
+      [a](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          SpMMAccumulate(*a, n->grad, &ParentGrad(n, 0));
+        }
+      },
+      "spmm_trans_a");
+}
+
+Tensor MaskedSpMatMul(std::shared_ptr<const SparseMatrix> support,
+                      const Tensor& alpha, const Tensor& b) {
+  DBG4ETH_CHECK(support != nullptr);
+  Matrix out = dbg4eth::MaskedMatMul(*support, alpha.value(), b.value());
+  return MakeNode(
+      std::move(out), {alpha, b},
+      [support](TensorNode* n) {
+        if (ParentRequires(n, 0)) {
+          MaskedOuterAccumulate(*support, n->grad, ParentValue(n, 1),
+                                &ParentGrad(n, 0));
+        }
+        if (ParentRequires(n, 1)) {
+          MaskedTransAccumulate(*support, ParentValue(n, 0), n->grad,
+                                &ParentGrad(n, 1));
+        }
+      },
+      "masked_spmatmul");
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {

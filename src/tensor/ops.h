@@ -1,8 +1,10 @@
 #ifndef DBG4ETH_TENSOR_OPS_H_
 #define DBG4ETH_TENSOR_OPS_H_
 
+#include <memory>
 #include <vector>
 
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace dbg4eth {
@@ -16,6 +18,26 @@ namespace ag {
 
 /// Matrix product a @ b.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Sparse-dense product a @ x for a constant sparse operator a (typically a
+/// cached normalized adjacency; it receives no gradient — only x does:
+/// dX = a^T @ dOut). The shared_ptr is captured by the tape node, so the
+/// operator outlives the backward pass.
+Tensor SpMM(std::shared_ptr<const SparseMatrix> a, const Tensor& x);
+
+/// Sparse-transposed-dense product a^T @ x for a constant sparse operator
+/// a (same contract as SpMM; dX = a @ dOut). Visits a's nonzeros in
+/// ascending-row order, so the result is bit-identical to the dense
+/// MatMulTransA against a.ToDense().
+Tensor SpMMTransA(std::shared_ptr<const SparseMatrix> a, const Tensor& x);
+
+/// Masked product alpha @ b where `alpha` is dense but exactly zero
+/// outside `support` (a masked-softmax attention matrix). Forward and both
+/// backward products only touch support entries; the gradient of alpha is
+/// zero off-support, which downstream masked-softmax backward annihilates
+/// anyway. Both alpha and b receive gradients.
+Tensor MaskedSpMatMul(std::shared_ptr<const SparseMatrix> support,
+                      const Tensor& alpha, const Tensor& b);
 
 /// Element-wise a + b (same shape).
 Tensor Add(const Tensor& a, const Tensor& b);

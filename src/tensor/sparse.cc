@@ -1,0 +1,192 @@
+#include "tensor/sparse.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense,
+                                     double zero_tolerance) {
+  SparseMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_offsets_.assign(1, 0);
+  out.row_offsets_.reserve(dense.rows() + 1);
+  for (int r = 0; r < dense.rows(); ++r) {
+    const double* row = dense.RowPtr(r);
+    for (int c = 0; c < dense.cols(); ++c) {
+      if (std::fabs(row[c]) > zero_tolerance) {
+        out.col_indices_.push_back(c);
+        out.values_.push_back(row[c]);
+      }
+    }
+    out.row_offsets_.push_back(static_cast<int>(out.values_.size()));
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromTriplets(
+    int rows, int cols,
+    const std::vector<std::tuple<int, int, double>>& triplets) {
+  // (row, col) map gives sorted CSR order and sums duplicates.
+  std::map<std::pair<int, int>, double> entries;
+  for (const auto& [r, c, v] : triplets) {
+    DBG4ETH_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    entries[{r, c}] += v;
+  }
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_offsets_.assign(1, 0);
+  out.row_offsets_.reserve(rows + 1);
+  out.col_indices_.reserve(entries.size());
+  out.values_.reserve(entries.size());
+  auto it = entries.begin();
+  for (int r = 0; r < rows; ++r) {
+    for (; it != entries.end() && it->first.first == r; ++it) {
+      out.col_indices_.push_back(it->first.second);
+      out.values_.push_back(it->second);
+    }
+    out.row_offsets_.push_back(static_cast<int>(out.values_.size()));
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    double* orow = out.RowPtr(r);
+    for (int e = row_offsets_[r]; e < row_offsets_[r + 1]; ++e) {
+      orow[col_indices_[e]] += values_[e];
+    }
+  }
+  return out;
+}
+
+Matrix SpMM(const SparseMatrix& a, const Matrix& x) {
+  Matrix out(a.rows(), x.cols());
+  SpMMAccumulate(a, x, &out);
+  return out;
+}
+
+void SpMMAccumulate(const SparseMatrix& a, const Matrix& x, Matrix* out) {
+  DBG4ETH_CHECK_EQ(a.cols(), x.rows());
+  DBG4ETH_CHECK_EQ(out->rows(), a.rows());
+  DBG4ETH_CHECK_EQ(out->cols(), x.cols());
+  const std::vector<int>& offsets = a.row_offsets();
+  const std::vector<int>& cols = a.col_indices();
+  const std::vector<double>& vals = a.values();
+  const int m = x.cols();
+  for (int r = 0; r < a.rows(); ++r) {
+    double* orow = out->RowPtr(r);
+    for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+      const double v = vals[e];
+      const double* xrow = x.RowPtr(cols[e]);
+      for (int j = 0; j < m; ++j) {
+        orow[j] += v * xrow[j];
+      }
+    }
+  }
+}
+
+Matrix SpMMTransA(const SparseMatrix& a, const Matrix& x) {
+  DBG4ETH_CHECK_EQ(a.rows(), x.rows());
+  Matrix out(a.cols(), x.cols());
+  const std::vector<int>& offsets = a.row_offsets();
+  const std::vector<int>& cols = a.col_indices();
+  const std::vector<double>& vals = a.values();
+  const int m = x.cols();
+  // Scatter form: entry (r, c) of a contributes a rank-1 update of x's
+  // row r into out's row c.
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* xrow = x.RowPtr(r);
+    for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+      const double v = vals[e];
+      double* orow = out.RowPtr(cols[e]);
+      for (int j = 0; j < m; ++j) {
+        orow[j] += v * xrow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaskedMatMul(const SparseMatrix& support, const Matrix& a,
+                    const Matrix& b) {
+  DBG4ETH_CHECK_EQ(support.rows(), a.rows());
+  DBG4ETH_CHECK_EQ(support.cols(), a.cols());
+  DBG4ETH_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const std::vector<int>& offsets = support.row_offsets();
+  const std::vector<int>& cols = support.col_indices();
+  const int m = b.cols();
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* arow = a.RowPtr(r);
+    double* orow = out.RowPtr(r);
+    for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+      const int k = cols[e];
+      const double v = arow[k];
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < m; ++j) {
+        orow[j] += v * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void MaskedOuterAccumulate(const SparseMatrix& support, const Matrix& dout,
+                           const Matrix& b, Matrix* da) {
+  DBG4ETH_CHECK_EQ(support.rows(), da->rows());
+  DBG4ETH_CHECK_EQ(support.cols(), da->cols());
+  DBG4ETH_CHECK_EQ(dout.rows(), da->rows());
+  DBG4ETH_CHECK_EQ(b.rows(), da->cols());
+  DBG4ETH_CHECK_EQ(dout.cols(), b.cols());
+  const std::vector<int>& offsets = support.row_offsets();
+  const std::vector<int>& cols = support.col_indices();
+  const int m = dout.cols();
+  for (int r = 0; r < da->rows(); ++r) {
+    const double* drow = dout.RowPtr(r);
+    double* garow = da->RowPtr(r);
+    for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+      const int k = cols[e];
+      const double* brow = b.RowPtr(k);
+      double acc = 0.0;
+      for (int j = 0; j < m; ++j) {
+        acc += drow[j] * brow[j];
+      }
+      garow[k] += acc;
+    }
+  }
+}
+
+void MaskedTransAccumulate(const SparseMatrix& support, const Matrix& a,
+                           const Matrix& dout, Matrix* db) {
+  DBG4ETH_CHECK_EQ(support.rows(), a.rows());
+  DBG4ETH_CHECK_EQ(support.cols(), a.cols());
+  DBG4ETH_CHECK_EQ(db->rows(), a.cols());
+  DBG4ETH_CHECK_EQ(db->cols(), dout.cols());
+  DBG4ETH_CHECK_EQ(dout.rows(), a.rows());
+  const std::vector<int>& offsets = support.row_offsets();
+  const std::vector<int>& cols = support.col_indices();
+  const int m = dout.cols();
+  // Scatter form mirroring SpMMTransA: ascending r keeps each output
+  // row's accumulation in the dense kernel's order.
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* arow = a.RowPtr(r);
+    const double* drow = dout.RowPtr(r);
+    for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+      const double v = arow[cols[e]];
+      double* orow = db->RowPtr(cols[e]);
+      for (int j = 0; j < m; ++j) {
+        orow[j] += v * drow[j];
+      }
+    }
+  }
+}
+
+}  // namespace dbg4eth

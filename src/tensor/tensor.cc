@@ -9,13 +9,56 @@ namespace ag {
 
 namespace internal {
 
+namespace {
+
+/// The buffer bound by the running Backward(GradientBuffer*) call on this
+/// thread, if any.
+thread_local GradientBuffer* t_active_gradient_buffer = nullptr;
+
+}  // namespace
+
 void TensorNode::EnsureGrad() {
   if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
     grad = Matrix(value.rows(), value.cols());
   }
 }
 
+void TensorNode::EnsureZeroedGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());  // Freshly zero-initialized.
+  } else {
+    grad.Fill(0.0);
+  }
+}
+
+Matrix& GradAccumTarget(TensorNode* node) {
+  GradientBuffer* buffer = t_active_gradient_buffer;
+  if (buffer != nullptr && node->is_leaf()) {
+    return buffer->Slot(node);
+  }
+  node->EnsureGrad();
+  return node->grad;
+}
+
 }  // namespace internal
+
+Matrix& GradientBuffer::Slot(internal::TensorNode* node) {
+  auto it = slots_.find(node);
+  if (it == slots_.end()) {
+    it = slots_
+             .emplace(node,
+                      Matrix(node->value.rows(), node->value.cols()))
+             .first;
+  }
+  return it->second;
+}
+
+void GradientBuffer::ReduceInto() {
+  for (auto& [node, grad] : slots_) {
+    node->EnsureGrad();
+    node->grad.AddInPlace(grad);
+  }
+}
 
 Tensor::Tensor(Matrix value, bool requires_grad) {
   node_ = std::make_shared<internal::TensorNode>();
@@ -53,11 +96,22 @@ void Tensor::ZeroGrad() {
   node_->grad.Fill(0.0);
 }
 
-void Tensor::Backward() {
+void Tensor::Backward(GradientBuffer* buffer) {
   DBG4ETH_CHECK(defined());
   DBG4ETH_CHECK(rows() == 1 && cols() == 1)
       << "Backward() requires a scalar output, got " << rows() << "x"
       << cols();
+
+  // Bind (and on exit restore) this thread's gradient buffer; the ops'
+  // backward closures pick it up through internal::GradAccumTarget.
+  struct BufferBinding {
+    GradientBuffer* prev;
+    explicit BufferBinding(GradientBuffer* b)
+        : prev(internal::t_active_gradient_buffer) {
+      internal::t_active_gradient_buffer = b;
+    }
+    ~BufferBinding() { internal::t_active_gradient_buffer = prev; }
+  } binding(buffer);
 
   // Topological order via iterative post-order DFS over requires_grad nodes.
   std::vector<internal::TensorNode*> topo;
@@ -87,17 +141,18 @@ void Tensor::Backward() {
 
   // Zero grads of all interior (non-leaf) nodes; leaf (parameter) grads
   // accumulate across Backward() calls until the optimizer clears them.
+  // Interior nodes are private to the thread that built the tape, so
+  // touching them is safe even in buffered mode; shared leaves are left
+  // alone when a buffer is bound (their writes go to the buffer).
   for (internal::TensorNode* node : topo) {
     if (node->backward_fn) {
-      node->EnsureGrad();
-      node->grad.Fill(0.0);
-    } else {
+      node->EnsureZeroedGrad();
+    } else if (buffer == nullptr) {
       node->EnsureGrad();
     }
   }
 
-  node_->EnsureGrad();
-  node_->grad.At(0, 0) += 1.0;
+  internal::GradAccumTarget(node_.get()).At(0, 0) += 1.0;
 
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     internal::TensorNode* node = *it;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -12,6 +13,7 @@ namespace dbg4eth {
 namespace ag {
 
 class Tensor;
+class GradientBuffer;
 
 namespace internal {
 
@@ -28,9 +30,52 @@ struct TensorNode {
   /// Allocates (zeroed) grad storage if absent; keeps existing contents so
   /// that repeated Backward() calls accumulate into parameter gradients.
   void EnsureGrad();
+  /// EnsureGrad + zero, skipping the redundant fill when the grad matrix
+  /// was just allocated (fresh tape nodes — the common case).
+  void EnsureZeroedGrad();
+
+  /// A leaf holds no backward function and no parents — it is a parameter
+  /// or constant fed into the tape, and (for parameters) potentially shared
+  /// across threads.
+  bool is_leaf() const { return parents.empty(); }
 };
 
+/// Where backward passes accumulate `node`'s gradient right now: the
+/// calling thread's active GradientBuffer slot when one is bound and the
+/// node is a shared leaf, `node->grad` otherwise. Every gradient write in
+/// ops.cc funnels through this (via ParentGrad), which is what makes the
+/// buffered backward below race-free without locking.
+Matrix& GradAccumTarget(TensorNode* node);
+
 }  // namespace internal
+
+/// \brief Thread-local accumulation target for leaf (parameter) gradients.
+///
+/// `Tensor::Backward(GradientBuffer*)` routes every leaf-gradient write of
+/// that backward pass into this buffer instead of the nodes' shared `grad`
+/// matrices. Worker threads each own one buffer, run forward+backward on
+/// their instances, and the main thread then folds the buffers into the
+/// real parameter gradients with `ReduceInto()` — in a fixed (instance)
+/// order, so the summed gradient is independent of thread count and
+/// scheduling.
+///
+/// Not internally synchronized: Slot() runs on the owning thread during
+/// backward; ReduceInto()/Clear() run after the fork-join barrier.
+class GradientBuffer {
+ public:
+  /// Accumulation slot for `node`, created zeroed on first use.
+  Matrix& Slot(internal::TensorNode* node);
+
+  /// Adds every slot into its node's `grad` (allocating grads as needed).
+  /// Does not clear the buffer.
+  void ReduceInto();
+
+  void Clear() { slots_.clear(); }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<internal::TensorNode*, Matrix> slots_;
+};
 
 /// \brief Value-semantic handle to a node of the autograd tape.
 ///
@@ -65,7 +110,13 @@ class Tensor {
 
   /// Runs reverse-mode differentiation from this tensor. The tensor must be
   /// a 1x1 scalar; its gradient is seeded with 1.
-  void Backward();
+  void Backward() { Backward(nullptr); }
+
+  /// Backward pass that accumulates leaf (parameter) gradients into
+  /// `buffer` instead of the shared `grad` matrices (see GradientBuffer).
+  /// With a null buffer this is the plain Backward(). The buffer binding is
+  /// thread-local and lasts only for the duration of the call.
+  void Backward(GradientBuffer* buffer);
 
   /// Value of a 1x1 tensor.
   double ScalarValue() const;

@@ -1,0 +1,206 @@
+// Tests for the CSR SparseMatrix, the SpMM kernels, the blocked dense
+// matmul kernels (validated against a naive reference), and the ag::SpMM
+// autograd op.
+#include "tensor/sparse.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/gradcheck.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace {
+
+// Naive triple-loop references the blocked kernels are checked against.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix SparsifyRandom(Matrix m, double zero_prob, Rng* rng) {
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (rng->Bernoulli(zero_prob)) m.At(r, c) = 0.0;
+    }
+  }
+  return m;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a.At(r, c), b.At(r, c), tol)
+          << "mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// Shapes exercise the 4-wide blocking remainders (dims % 4 in {0,1,2,3}),
+// degenerate 1xN / Nx1 operands, and an empty inner dimension.
+const std::vector<std::tuple<int, int, int>> kShapes = {
+    {4, 4, 4},  {8, 12, 16}, {5, 7, 9},   {6, 3, 10}, {1, 5, 4},
+    {5, 4, 1},  {1, 1, 1},   {3, 1, 3},   {2, 9, 2},  {16, 16, 16},
+    {7, 13, 5}, {0, 3, 4},   {3, 0, 4},   {3, 4, 0},
+};
+
+TEST(BlockedKernelsTest, MatMulMatchesNaiveOnRandomShapes) {
+  Rng rng(91);
+  for (const auto& [n, k, m] : kShapes) {
+    Matrix a = Matrix::Random(n, k, &rng);
+    Matrix b = Matrix::Random(k, m, &rng);
+    ExpectMatrixNear(MatMul(a, b), NaiveMatMul(a, b), 1e-12);
+    // Sparse operand exercises the block-level zero skip.
+    Matrix a_sparse = SparsifyRandom(a, 0.7, &rng);
+    ExpectMatrixNear(MatMul(a_sparse, b), NaiveMatMul(a_sparse, b), 1e-12);
+  }
+}
+
+TEST(BlockedKernelsTest, MatMulAccumulateAddsOntoExisting) {
+  Rng rng(92);
+  Matrix a = Matrix::Random(6, 5, &rng);
+  Matrix b = Matrix::Random(5, 7, &rng);
+  Matrix out(6, 7, 2.5);
+  MatMulAccumulate(a, b, &out);
+  Matrix expected = NaiveMatMul(a, b);
+  expected.AddInPlace(Matrix(6, 7, 2.5));
+  ExpectMatrixNear(out, expected, 1e-12);
+}
+
+TEST(BlockedKernelsTest, TransAMatchesNaiveOnRandomShapes) {
+  Rng rng(93);
+  for (const auto& [n, k, m] : kShapes) {
+    Matrix a = Matrix::Random(n, k, &rng);  // a^T is k x n
+    Matrix b = Matrix::Random(n, m, &rng);
+    ExpectMatrixNear(MatMulTransA(a, b), NaiveMatMul(a.Transposed(), b),
+                     1e-12);
+    Matrix a_sparse = SparsifyRandom(a, 0.7, &rng);
+    ExpectMatrixNear(MatMulTransA(a_sparse, b),
+                     NaiveMatMul(a_sparse.Transposed(), b), 1e-12);
+  }
+}
+
+TEST(BlockedKernelsTest, TransBMatchesNaiveOnRandomShapes) {
+  Rng rng(94);
+  for (const auto& [n, k, m] : kShapes) {
+    Matrix a = Matrix::Random(n, k, &rng);
+    Matrix b = Matrix::Random(m, k, &rng);  // b^T is k x m
+    ExpectMatrixNear(MatMulTransB(a, b), NaiveMatMul(a, b.Transposed()),
+                     1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, FromDenseRoundTrips) {
+  Rng rng(95);
+  for (const auto& [n, k, m] : kShapes) {
+    (void)m;
+    Matrix dense = SparsifyRandom(Matrix::Random(n, k, &rng), 0.6, &rng);
+    SparseMatrix sparse = SparseMatrix::FromDense(dense);
+    ExpectMatrixNear(sparse.ToDense(), dense, 0.0);
+    int nnz = 0;
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < k; ++c) nnz += dense.At(r, c) != 0.0 ? 1 : 0;
+    }
+    EXPECT_EQ(sparse.nnz(), nnz);
+  }
+}
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicatesInCsrOrder) {
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      3, 4, {{2, 1, 1.5}, {0, 3, 2.0}, {2, 1, 0.5}, {1, 0, -1.0}});
+  EXPECT_EQ(s.nnz(), 3);
+  Matrix dense = s.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(dense.At(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(dense.At(2, 1), 2.0);
+  // CSR invariants: offsets monotone, columns ascending per row.
+  ASSERT_EQ(s.row_offsets().size(), 4u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_LE(s.row_offsets()[r], s.row_offsets()[r + 1]);
+    for (int e = s.row_offsets()[r] + 1; e < s.row_offsets()[r + 1]; ++e) {
+      EXPECT_LT(s.col_indices()[e - 1], s.col_indices()[e]);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix s = SparseMatrix::FromDense(Matrix(0, 0));
+  EXPECT_EQ(s.rows(), 0);
+  EXPECT_EQ(s.cols(), 0);
+  EXPECT_EQ(s.nnz(), 0);
+  EXPECT_TRUE(s.ToDense().empty());
+}
+
+TEST(SpMMTest, MatchesDenseOnRandomShapes) {
+  Rng rng(96);
+  for (const auto& [n, k, m] : kShapes) {
+    Matrix a = SparsifyRandom(Matrix::Random(n, k, &rng), 0.6, &rng);
+    Matrix x = Matrix::Random(k, m, &rng);
+    SparseMatrix sa = SparseMatrix::FromDense(a);
+    ExpectMatrixNear(SpMM(sa, x), NaiveMatMul(a, x), 1e-12);
+    Matrix xt = Matrix::Random(n, m, &rng);
+    ExpectMatrixNear(SpMMTransA(sa, xt), NaiveMatMul(a.Transposed(), xt),
+                     1e-12);
+  }
+}
+
+TEST(SpMMTest, AccumulateAddsOntoExisting) {
+  Rng rng(97);
+  Matrix a = SparsifyRandom(Matrix::Random(5, 6, &rng), 0.5, &rng);
+  Matrix x = Matrix::Random(6, 3, &rng);
+  SparseMatrix sa = SparseMatrix::FromDense(a);
+  Matrix out(5, 3, -1.0);
+  SpMMAccumulate(sa, x, &out);
+  Matrix expected = NaiveMatMul(a, x);
+  expected.AddInPlace(Matrix(5, 3, -1.0));
+  ExpectMatrixNear(out, expected, 1e-12);
+}
+
+TEST(SpMMOpTest, ForwardAndBackwardMatchDenseMatMul) {
+  Rng rng(98);
+  Matrix adj = SparsifyRandom(Matrix::Random(6, 6, &rng), 0.5, &rng);
+  Matrix x0 = Matrix::Random(6, 4, &rng);
+  auto sparse_adj =
+      std::make_shared<const SparseMatrix>(SparseMatrix::FromDense(adj));
+
+  ag::Tensor x_sparse = ag::Tensor::Parameter(x0);
+  ag::Tensor y_sparse = ag::SumAll(ag::SpMM(sparse_adj, x_sparse));
+  y_sparse.Backward();
+
+  ag::Tensor x_dense = ag::Tensor::Parameter(x0);
+  ag::Tensor y_dense =
+      ag::SumAll(ag::MatMul(ag::Tensor::Constant(adj), x_dense));
+  y_dense.Backward();
+
+  EXPECT_NEAR(y_sparse.ScalarValue(), y_dense.ScalarValue(), 1e-12);
+  ExpectMatrixNear(x_sparse.grad(), x_dense.grad(), 1e-12);
+}
+
+TEST(SpMMOpTest, GradCheck) {
+  Rng rng(99);
+  Matrix adj = SparsifyRandom(Matrix::Random(5, 5, &rng), 0.5, &rng);
+  auto sparse_adj =
+      std::make_shared<const SparseMatrix>(SparseMatrix::FromDense(adj));
+  ag::Tensor x = ag::Tensor::Parameter(Matrix::Random(5, 3, &rng));
+  auto loss_fn = [&]() {
+    return ag::MeanAll(ag::Relu(ag::SpMM(sparse_adj, x)));
+  };
+  const ag::GradCheckResult result = ag::CheckGradients(loss_fn, {x});
+  EXPECT_TRUE(result.passed) << "max_abs_error=" << result.max_abs_error;
+}
+
+}  // namespace
+}  // namespace dbg4eth
