@@ -1,0 +1,197 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace dbg4eth {
+namespace failpoint {
+
+namespace {
+
+/// xorshift64*, the same tiny generator the stats reservoir uses; quality
+/// needs are minimal and it keeps Evaluate's critical section short.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+struct PointState {
+  Spec spec;
+  uint64_t rng_state = 1;
+  uint64_t evals = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives threads.
+  return *registry;
+}
+
+/// Fast-path gate: Evaluate returns immediately while nothing is enabled,
+/// so marked sites in failpoint-enabled builds stay cheap outside tests.
+std::atomic<int> g_num_enabled{0};
+
+bool TriggerFires(PointState* state) {
+  switch (state->spec.trigger) {
+    case Spec::Trigger::kAlways:
+      return true;
+    case Spec::Trigger::kEveryNth:
+      return state->spec.n >= 1 && state->evals % state->spec.n == 0;
+    case Spec::Trigger::kAfterN:
+      return state->evals > state->spec.n;
+    case Spec::Trigger::kProbability: {
+      const double u =
+          static_cast<double>(NextRandom(&state->rng_state) >> 11) *
+          (1.0 / 9007199254740992.0);  // 2^-53: uniform in [0, 1).
+      return u < state->spec.probability;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Spec Always(StatusCode code) {
+  Spec spec;
+  spec.code = code;
+  return spec;
+}
+
+Spec EveryNth(uint64_t n, StatusCode code) {
+  Spec spec;
+  spec.trigger = Spec::Trigger::kEveryNth;
+  spec.n = n;
+  spec.code = code;
+  return spec;
+}
+
+Spec AfterN(uint64_t n, StatusCode code) {
+  Spec spec;
+  spec.trigger = Spec::Trigger::kAfterN;
+  spec.n = n;
+  spec.code = code;
+  return spec;
+}
+
+Spec WithProbability(double p, uint64_t seed, StatusCode code) {
+  Spec spec;
+  spec.trigger = Spec::Trigger::kProbability;
+  spec.probability = p;
+  spec.seed = seed;
+  spec.code = code;
+  return spec;
+}
+
+Spec SleepFor(int64_t sleep_us) {
+  Spec spec;
+  spec.sleep_us = sleep_us;
+  spec.inject_error = false;
+  return spec;
+}
+
+Status Enable(const std::string& name, const Spec& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must not be empty");
+  }
+  if (spec.trigger == Spec::Trigger::kEveryNth && spec.n < 1) {
+    return Status::InvalidArgument("every-Nth failpoint needs n >= 1");
+  }
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    return Status::InvalidArgument("failpoint probability must be in [0,1]");
+  }
+  if (spec.inject_error && spec.code == StatusCode::kOk) {
+    return Status::InvalidArgument(
+        "failpoint cannot inject kOk; use SleepFor for side-effect-only "
+        "points");
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  PointState state;
+  state.spec = spec;
+  state.rng_state = spec.seed ? spec.seed : 1;
+  auto [it, inserted] = registry.points.insert_or_assign(name, state);
+  (void)it;
+  if (inserted) g_num_enabled.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Disable(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(name) > 0) {
+    g_num_enabled.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_num_enabled.fetch_sub(static_cast<int>(registry.points.size()),
+                          std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+bool IsEnabled(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.points.count(name) > 0;
+}
+
+uint64_t EvalCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.evals;
+}
+
+uint64_t FireCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.fires;
+}
+
+Status Evaluate(const char* name) {
+  if (g_num_enabled.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  int64_t sleep_us = 0;
+  Status injected = Status::OK();
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) return Status::OK();
+    PointState& state = it->second;
+    ++state.evals;
+    if (!TriggerFires(&state)) return Status::OK();
+    ++state.fires;
+    sleep_us = state.spec.sleep_us;
+    if (state.spec.inject_error) {
+      injected = Status(state.spec.code,
+                        state.spec.message.empty()
+                            ? std::string(name) + " failpoint fired"
+                            : state.spec.message);
+    }
+  }
+  // Sleep outside the lock so a slow point never stalls other points.
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  return injected;
+}
+
+}  // namespace failpoint
+}  // namespace dbg4eth

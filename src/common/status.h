@@ -19,6 +19,15 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  /// The request's deadline passed before (or while) it was served.
+  kDeadlineExceeded,
+  /// A bounded resource (queue, pool, budget) is saturated; retrying
+  /// later may succeed.
+  kResourceExhausted,
+  /// A dependency is transiently unavailable; retrying may succeed.
+  kUnavailable,
+  /// Stored data is corrupt or truncated (checksum mismatch, bad frame).
+  kDataLoss,
 };
 
 /// \brief Outcome of an operation: either OK or an error code with a message.
@@ -50,8 +59,28 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True for errors worth retrying after a backoff (the dependency may
+  /// recover): kUnavailable and kResourceExhausted. Deadline expiry,
+  /// corruption and caller mistakes are not transient.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

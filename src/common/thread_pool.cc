@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace dbg4eth {
 
 ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
@@ -66,6 +68,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     not_full_.notify_one();
+    // Sleep-only injection point: simulates a hung/slow worker so chaos
+    // tests can race shutdown and deadlines against stuck tasks.
+    DBG4ETH_FAIL_POINT_APPLY("pool.task");
     try {
       task();
     } catch (...) {

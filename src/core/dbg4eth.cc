@@ -1,7 +1,9 @@
 #include "core/dbg4eth.h"
 
 #include <cmath>
+#include <sstream>
 
+#include "common/checkpoint_store.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/serialize.h"
@@ -295,6 +297,15 @@ Status Dbg4Eth::Save(std::ostream* os) const {
   if (!trained_) {
     return Status::FailedPrecondition("cannot save an untrained model");
   }
+  // The model body is serialized into a payload buffer and committed as a
+  // framed (magic + version + length + CRC32) checkpoint, so truncation
+  // and bit corruption are detected before parsing on reload.
+  std::ostringstream payload;
+  DBG4ETH_RETURN_NOT_OK(SaveRaw(&payload));
+  return WriteFramedCheckpoint(os, payload.str());
+}
+
+Status Dbg4Eth::SaveRaw(std::ostream* os) const {
   BinaryWriter writer(os);
   writer.WriteString("dbg4eth_checkpoint");
   writer.WriteU32(kCheckpointVersion);
@@ -330,6 +341,17 @@ Status Dbg4Eth::Save(std::ostream* os) const {
 }
 
 Result<std::unique_ptr<Dbg4Eth>> Dbg4Eth::Load(std::istream* is) {
+  if (LooksFramed(is)) {
+    DBG4ETH_ASSIGN_OR_RETURN(std::string payload, ReadFramedCheckpoint(is));
+    std::istringstream body(payload);
+    return LoadRaw(&body);
+  }
+  // Legacy unframed stream (pre-framing checkpoints) — parse directly;
+  // the section tags still catch gross corruption.
+  return LoadRaw(is);
+}
+
+Result<std::unique_ptr<Dbg4Eth>> Dbg4Eth::LoadRaw(std::istream* is) {
   BinaryReader reader(is);
   DBG4ETH_RETURN_NOT_OK(reader.ExpectTag("dbg4eth_checkpoint"));
   uint32_t version = 0;

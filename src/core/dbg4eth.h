@@ -87,10 +87,15 @@ class Dbg4Eth {
 
   /// Writes the full trained model (config, encoders, scalers, calibrators,
   /// normalizer, classifier head) to a binary checkpoint. Requires Train.
+  /// The stream is framed (magic, format version, payload length, CRC32
+  /// trailer — see common/checkpoint_store.h) so Load can reject truncated
+  /// or bit-flipped checkpoints before parsing.
   Status Save(std::ostream* os) const;
 
   /// Restores a model saved with Save; the result is ready for
-  /// PredictProba / Evaluate without retraining.
+  /// PredictProba / Evaluate without retraining. Accepts both framed
+  /// checkpoints (validated against their CRC, corruption -> kDataLoss)
+  /// and legacy unframed streams from before the framing change.
   static Result<std::unique_ptr<Dbg4Eth>> Load(std::istream* is);
 
   /// Metrics over the given instances.
@@ -111,6 +116,11 @@ class Dbg4Eth {
   const Dbg4EthConfig& config() const { return config_; }
 
  private:
+  /// Unframed serialization body shared by Save (which frames it) and the
+  /// legacy-stream path of Load.
+  Status SaveRaw(std::ostream* os) const;
+  static Result<std::unique_ptr<Dbg4Eth>> LoadRaw(std::istream* is);
+
   struct BranchScaler {
     double mean = 0.0;
     double stddev = 1.0;

@@ -1,8 +1,11 @@
 #include "eth/csv_ledger.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -15,14 +18,37 @@ constexpr char kTxHeader[] =
     "from,to,value,timestamp,gas_price,gas_used,to_is_contract";
 constexpr char kLabelHeader[] = "address,label";
 
-Status ParseDouble(const std::string& field, int line, double* out) {
+/// Parses one numeric field. The field may carry surrounding whitespace
+/// (it is trimmed); anything non-numeric, partially numeric, or outside
+/// the finite double range (overflowing exponents, "inf", "nan") is an
+/// InvalidArgument carrying the line number — hostile rows must never
+/// poison downstream math or the timestamp sort.
+Status ParseDouble(const std::string& raw, int line, double* out) {
+  const std::string field = Trim(raw);
+  if (field.empty()) {
+    return Status::InvalidArgument(StrFormat("line %d: empty field", line));
+  }
+  errno = 0;
   char* end = nullptr;
   *out = std::strtod(field.c_str(), &end);
   if (end == field.c_str() || *end != '\0') {
     return Status::InvalidArgument(
         StrFormat("line %d: not a number: '%s'", line, field.c_str()));
   }
+  if (errno == ERANGE || !std::isfinite(*out)) {
+    return Status::InvalidArgument(
+        StrFormat("line %d: number out of range: '%s'", line, field.c_str()));
+  }
   return Status::OK();
+}
+
+/// Strips a UTF-8 byte-order mark, which spreadsheet exports routinely
+/// prepend to the header line.
+void StripBom(std::string* line) {
+  if (line->size() >= 3 && (*line)[0] == '\xEF' && (*line)[1] == '\xBB' &&
+      (*line)[2] == '\xBF') {
+    line->erase(0, 3);
+  }
 }
 
 }  // namespace
@@ -46,9 +72,15 @@ AccountId CsvLedger::Intern(const std::string& address, bool is_contract) {
 }
 
 Result<std::unique_ptr<CsvLedger>> CsvLedger::FromCsv(std::istream* is) {
+  DBG4ETH_FAIL_POINT("eth.from_csv");
   std::unique_ptr<CsvLedger> ledger(new CsvLedger());
   std::string line;
-  if (!std::getline(*is, line) || Trim(line) != kTxHeader) {
+  if (!std::getline(*is, line)) {
+    return Status::InvalidArgument(
+        std::string("expected transaction CSV header: ") + kTxHeader);
+  }
+  StripBom(&line);  // Trim handles CRLF; the BOM needs explicit stripping.
+  if (Trim(line) != kTxHeader) {
     return Status::InvalidArgument(
         std::string("expected transaction CSV header: ") + kTxHeader);
   }
@@ -68,17 +100,24 @@ Result<std::unique_ptr<CsvLedger>> CsvLedger::FromCsv(std::istream* is) {
     DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[3], line_no, &tx.timestamp));
     DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[4], line_no, &tx.gas_price));
     DBG4ETH_RETURN_NOT_OK(ParseDouble(fields[5], line_no, &tx.gas_used));
-    if (fields[6] != "0" && fields[6] != "1") {
+    const std::string contract_flag = Trim(fields[6]);
+    if (contract_flag != "0" && contract_flag != "1") {
       return Status::InvalidArgument(
           StrFormat("line %d: to_is_contract must be 0 or 1", line_no));
     }
-    tx.is_contract_call = fields[6] == "1";
+    tx.is_contract_call = contract_flag == "1";
     if (tx.value < 0 || tx.gas_price < 0 || tx.gas_used < 0) {
       return Status::InvalidArgument(
           StrFormat("line %d: negative value/gas", line_no));
     }
-    tx.from = ledger->Intern(Trim(fields[0]), /*is_contract=*/false);
-    tx.to = ledger->Intern(Trim(fields[1]), tx.is_contract_call);
+    const std::string from = Trim(fields[0]);
+    const std::string to = Trim(fields[1]);
+    if (from.empty() || to.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: empty address", line_no));
+    }
+    tx.from = ledger->Intern(from, /*is_contract=*/false);
+    tx.to = ledger->Intern(to, tx.is_contract_call);
     ledger->transactions_.push_back(tx);
   }
   if (ledger->transactions_.empty()) {
@@ -99,7 +138,12 @@ Result<std::unique_ptr<CsvLedger>> CsvLedger::FromCsv(std::istream* is) {
 
 Result<int> CsvLedger::LoadLabels(std::istream* is) {
   std::string line;
-  if (!std::getline(*is, line) || Trim(line) != kLabelHeader) {
+  if (!std::getline(*is, line)) {
+    return Status::InvalidArgument(
+        std::string("expected label CSV header: ") + kLabelHeader);
+  }
+  StripBom(&line);
+  if (Trim(line) != kLabelHeader) {
     return Status::InvalidArgument(
         std::string("expected label CSV header: ") + kLabelHeader);
   }

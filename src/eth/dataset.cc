@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/parallel_for.h"
@@ -46,6 +47,7 @@ Result<GraphInstance> MaterializeInstance(
   if (num_time_slices < 1) {
     return Status::InvalidArgument("num_time_slices must be >= 1");
   }
+  DBG4ETH_FAIL_POINT("eth.materialize");
   DBG4ETH_ASSIGN_OR_RETURN(TxSubgraph sub,
                            graph::SampleSubgraph(ledger, center, sampling));
   if (sub.num_nodes() < 3 || sub.txs.empty()) {

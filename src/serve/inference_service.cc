@@ -1,9 +1,12 @@
 #include "serve/inference_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace dbg4eth {
@@ -58,13 +61,22 @@ void InferenceService::Shutdown() {
 void InferenceService::RefreshLedgerHeight() {
   const uint64_t height = ledger_->transactions().size();
   const uint64_t previous = ledger_height_.exchange(height);
-  if (height > previous) {
+  if (height > previous && !config_.serve_stale) {
+    // Without degraded mode, superseded entries are dead weight — drop
+    // them eagerly. With it, they are the stale corpus that keeps
+    // answers flowing while the cold path is failing; LRU pressure
+    // retires them naturally.
     cache_.InvalidateOlderThan(height);
   }
 }
 
 std::future<ScoreResult> InferenceService::ScoreAsync(
     eth::AccountId address) {
+  return ScoreAsync(address, config_.default_deadline_us);
+}
+
+std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
+                                                      int64_t deadline_us) {
   if (shutdown_.load()) {
     // A shut-down service rejects uniformly — even addresses that would
     // hit the cache — so clients observe one consistent terminal state.
@@ -82,6 +94,11 @@ std::future<ScoreResult> InferenceService::ScoreAsync(
   request.address = address;
   request.ledger_height = ledger_height_.load();
   request.enqueue_time = std::chrono::steady_clock::now();
+  if (deadline_us > 0) {
+    request.deadline =
+        request.enqueue_time + std::chrono::microseconds(deadline_us);
+    request.has_deadline = true;
+  }
   request.promise = std::make_shared<std::promise<ScoreResult>>();
   std::future<ScoreResult> future = request.promise->get_future();
 
@@ -98,6 +115,32 @@ std::future<ScoreResult> InferenceService::ScoreAsync(
     stats_.RecordRequest(result.latency_us, /*cache_hit=*/true);
     request.promise->set_value(std::move(result));
     return future;
+  }
+
+  if (config_.shed_when_saturated) {
+    // Admission control: never block the producer. TryPush copies the
+    // request, so on kFull the original is still resolvable here.
+    switch (queue_.TryPush(request)) {
+      case RequestQueue::PushResult::kAccepted:
+        return future;
+      case RequestQueue::PushResult::kClosed:
+        ResolveError(request, Status::FailedPrecondition(
+                                  "service is shut down"));
+        return future;
+      case RequestQueue::PushResult::kFull:
+        // Overloaded: a stale answer beats an outright rejection when
+        // degraded mode has one.
+        if (TryServeStale(request)) return future;
+        stats_.RecordShed();
+        ScoreResult result;
+        result.address = address;
+        result.ledger_height = request.ledger_height;
+        result.status = Status::ResourceExhausted(
+            "request queue is saturated; load shed");
+        result.latency_us = ElapsedUs(request.enqueue_time);
+        request.promise->set_value(std::move(result));
+        return future;
+    }
   }
 
   if (!queue_.Push(std::move(request))) {
@@ -131,12 +174,8 @@ void InferenceService::DispatchLoop() {
     if (!pool_.Submit([this, shared] { ProcessBatch(shared.get()); })) {
       // Pool already shut down (service teardown); fail the batch.
       for (const ScoreRequest& request : *shared) {
-        ScoreResult result;
-        result.address = request.address;
-        result.ledger_height = request.ledger_height;
-        result.status = Status::FailedPrecondition("service is shut down");
-        stats_.RecordError();
-        request.promise->set_value(std::move(result));
+        ResolveError(request,
+                     Status::FailedPrecondition("service is shut down"));
       }
     }
     batch.clear();
@@ -155,6 +194,20 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
          << 32) ^
         (request.ledger_height & 0xffffffffULL);
 
+    // Dispatch-time deadline check: a request that expired while queued
+    // is resolved without paying for the forward pass.
+    if (request.expired(std::chrono::steady_clock::now())) {
+      ScoreResult result;
+      result.address = request.address;
+      result.ledger_height = request.ledger_height;
+      result.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      result.latency_us = ElapsedUs(request.enqueue_time);
+      stats_.RecordDeadlineExceeded();
+      request.promise->set_value(std::move(result));
+      continue;
+    }
+
     ScoreResult result;
     result.address = request.address;
     result.ledger_height = request.ledger_height;
@@ -169,12 +222,20 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
       result.cache_hit = true;
       scored.emplace(packed, *cached);
     } else {
-      Result<double> proba = ScoreCold(request.address);
+      Result<double> proba = ScoreColdWithRetry(request, &result.retries);
       if (!proba.ok()) {
-        result.status = proba.status();
-        stats_.RecordError();
-        result.latency_us = ElapsedUs(request.enqueue_time);
-        request.promise->set_value(std::move(result));
+        const Status& st = proba.status();
+        if (st.code() == StatusCode::kDeadlineExceeded) {
+          result.status = st;
+          result.latency_us = ElapsedUs(request.enqueue_time);
+          stats_.RecordDeadlineExceeded();
+          request.promise->set_value(std::move(result));
+          continue;
+        }
+        // Degraded mode: the cold path is down (transiently) and the
+        // retry budget is spent — a stale score beats no score.
+        if (st.IsTransient() && TryServeStale(request)) continue;
+        ResolveError(request, st);
         continue;
       }
       result.probability = proba.ValueOrDie();
@@ -187,7 +248,67 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
   }
 }
 
+Result<double> InferenceService::ScoreColdWithRetry(
+    const ScoreRequest& request, int* retries) {
+  *retries = 0;
+  for (;;) {
+    // Pre-score deadline check: each attempt (first or retry) is skipped
+    // once the request has no time left.
+    if (request.expired(std::chrono::steady_clock::now())) {
+      return Status::DeadlineExceeded("deadline expired before scoring");
+    }
+    Result<double> proba = ScoreCold(request.address);
+    if (proba.ok() || !proba.status().IsTransient() ||
+        *retries >= config_.max_cold_retries) {
+      return proba;
+    }
+    ++*retries;
+    stats_.RecordRetry();
+    // Linear backoff, truncated so a retry never sleeps past the
+    // deadline it would then immediately fail.
+    int64_t backoff_us = config_.retry_backoff_us * *retries;
+    if (request.has_deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              request.deadline - std::chrono::steady_clock::now())
+              .count();
+      backoff_us = std::min(backoff_us, std::max<int64_t>(0, remaining));
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
+bool InferenceService::TryServeStale(const ScoreRequest& request) {
+  if (!config_.serve_stale) return false;
+  const auto stale =
+      cache_.GetNewestBelow(request.address, request.ledger_height);
+  if (!stale) return false;
+  ScoreResult result;
+  result.address = request.address;
+  result.ledger_height = stale->height;  // Height the score is valid at.
+  result.probability = stale->probability;
+  result.stale = true;
+  result.latency_us = ElapsedUs(request.enqueue_time);
+  stats_.RecordStaleServed(result.latency_us);
+  request.promise->set_value(std::move(result));
+  return true;
+}
+
+void InferenceService::ResolveError(const ScoreRequest& request,
+                                    Status status) {
+  ScoreResult result;
+  result.address = request.address;
+  result.ledger_height = request.ledger_height;
+  result.status = std::move(status);
+  result.latency_us = ElapsedUs(request.enqueue_time);
+  stats_.RecordError();
+  request.promise->set_value(std::move(result));
+}
+
 Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
+  DBG4ETH_FAIL_POINT("serve.score_cold");
   DBG4ETH_ASSIGN_OR_RETURN(
       eth::GraphInstance instance,
       eth::MaterializeInstance(*ledger_, address, config_.sampling,

@@ -35,6 +35,28 @@ struct InferenceServiceConfig {
   /// training data was sampled for the scores to be meaningful.
   graph::SamplingConfig sampling;
   int num_time_slices = 10;
+
+  // --- resilience knobs (see DESIGN.md "Failure model") ---
+
+  /// Default per-request deadline; 0 = no deadline. An expired request
+  /// resolves kDeadlineExceeded without a forward pass. Per-request
+  /// override: ScoreAsync(address, deadline_us).
+  int64_t default_deadline_us = 0;
+  /// Admission control: when true, a full request queue sheds new
+  /// requests with kResourceExhausted instead of blocking the producer.
+  bool shed_when_saturated = true;
+  /// Cold-path attempts beyond the first for transient failures
+  /// (kUnavailable / kResourceExhausted); 0 disables retry.
+  int max_cold_retries = 2;
+  /// Backoff before retry attempt r: retry_backoff_us * r (linear),
+  /// truncated by the request deadline.
+  int64_t retry_backoff_us = 500;
+  /// Degraded mode: when the cold path fails transiently past the retry
+  /// budget (or a request is about to be shed) answer from the newest
+  /// cache entry at an older ledger height, flagged `stale = true`. When
+  /// enabled, RefreshLedgerHeight keeps superseded entries around as the
+  /// stale corpus instead of dropping them eagerly.
+  bool serve_stale = true;
 };
 
 /// \brief Concurrent account-scoring service over a trained Dbg4Eth model.
@@ -73,10 +95,17 @@ class InferenceService {
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Submits one address for scoring. The future resolves with a
-  /// ScoreResult whose status reflects per-request failures (unknown
-  /// address, degenerate subgraph) — the future itself never throws.
+  /// Submits one address for scoring with the config's default deadline.
+  /// The future resolves with a ScoreResult whose status reflects
+  /// per-request failures (unknown address, degenerate subgraph, deadline
+  /// expiry, shed load) — the future itself never throws, and every
+  /// accepted request resolves even when Shutdown races submission.
   std::future<ScoreResult> ScoreAsync(eth::AccountId address);
+
+  /// Same, with an explicit deadline (microseconds from now; 0 = none)
+  /// overriding `config.default_deadline_us`.
+  std::future<ScoreResult> ScoreAsync(eth::AccountId address,
+                                      int64_t deadline_us);
 
   /// Blocking convenience wrapper around ScoreAsync.
   ScoreResult Score(eth::AccountId address);
@@ -103,6 +132,15 @@ class InferenceService {
   void ProcessBatch(std::vector<ScoreRequest>* batch);
   /// Cold path: materialize + normalize + forward pass.
   Result<double> ScoreCold(eth::AccountId address) const;
+  /// Cold path with the transient-failure retry loop around it; fills
+  /// `retries` with the attempts beyond the first.
+  Result<double> ScoreColdWithRetry(const ScoreRequest& request,
+                                    int* retries);
+  /// Resolves `request` from the newest stale cache entry below its
+  /// height, if degraded mode allows; true when it was resolved.
+  bool TryServeStale(const ScoreRequest& request);
+  /// Resolves `request` with an error status and records it.
+  void ResolveError(const ScoreRequest& request, Status status);
 
   InferenceServiceConfig config_;
   std::unique_ptr<core::Dbg4Eth> model_;

@@ -28,6 +28,17 @@ bool RequestQueue::Push(ScoreRequest request) {
   return true;
 }
 
+RequestQueue::PushResult RequestQueue::TryPush(ScoreRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= config_.capacity) return PushResult::kFull;
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
 bool RequestQueue::PopBatch(std::vector<ScoreRequest>* out) {
   out->clear();
   std::unique_lock<std::mutex> lock(mu_);

@@ -41,6 +41,17 @@ class RequestQueue {
   /// Returns false (request not enqueued) once the queue is closed.
   bool Push(ScoreRequest request);
 
+  /// Outcome of a non-blocking TryPush.
+  enum class PushResult {
+    kAccepted,  ///< Enqueued.
+    kFull,      ///< Queue at capacity — admission control should shed.
+    kClosed,    ///< Queue closed — service shutting down.
+  };
+
+  /// Non-blocking Push for admission control: never waits on capacity.
+  /// On kFull / kClosed the request (and its promise) is destroyed.
+  PushResult TryPush(ScoreRequest request);
+
   /// Blocks until a batch is ready (first-request age >= max_wait_us or
   /// max_batch requests available), fills `out` with 1..max_batch requests
   /// and returns true. Returns false only when the queue is closed and

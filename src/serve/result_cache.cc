@@ -57,6 +57,23 @@ void ResultCache::Put(const Key& key, double probability) {
   shard.index.emplace(key, shard.lru.begin());
 }
 
+std::optional<ResultCache::StaleEntry> ResultCache::GetNewestBelow(
+    eth::AccountId address, uint64_t height) {
+  std::optional<StaleEntry> best;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) {
+      if (entry.key.address != address || entry.key.height >= height) {
+        continue;
+      }
+      if (!best || entry.key.height > best->height) {
+        best = StaleEntry{entry.key.height, entry.probability};
+      }
+    }
+  }
+  return best;
+}
+
 void ResultCache::InvalidateOlderThan(uint64_t height) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

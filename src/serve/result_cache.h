@@ -56,6 +56,21 @@ class ResultCache {
   /// shard is at capacity.
   void Put(const Key& key, double probability);
 
+  /// A cached score with this key's height and probability.
+  struct StaleEntry {
+    uint64_t height = 0;
+    double probability = 0.0;
+  };
+
+  /// Degraded-mode lookup: the newest cached entry for `address` strictly
+  /// below `height`, or nullopt. Scans every shard (entries for one
+  /// address at different heights hash to different shards), so this is
+  /// O(cache size) — it runs only when the cold path is failing or
+  /// overloaded, never on the hit path. Recency is not refreshed and
+  /// hit/miss counters are untouched.
+  std::optional<StaleEntry> GetNewestBelow(eth::AccountId address,
+                                           uint64_t height);
+
   /// Drops every entry whose height is strictly below `height`.
   void InvalidateOlderThan(uint64_t height);
 

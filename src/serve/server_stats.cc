@@ -70,7 +70,9 @@ double LatencyReservoir::MaxUs() const {
 }
 
 ServerStats::ServerStats()
-    : cold_latency_(4096, 0xc01d), hit_latency_(4096, 0xcac4e) {}
+    : cold_latency_(4096, 0xc01d),
+      hit_latency_(4096, 0xcac4e),
+      stale_latency_(4096, 0x57a1e) {}
 
 void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
   requests_.fetch_add(1);
@@ -83,6 +85,18 @@ void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
 }
 
 void ServerStats::RecordError() { errors_.fetch_add(1); }
+
+void ServerStats::RecordDeadlineExceeded() { deadline_exceeded_.fetch_add(1); }
+
+void ServerStats::RecordShed() { shed_.fetch_add(1); }
+
+void ServerStats::RecordRetry() { retried_.fetch_add(1); }
+
+void ServerStats::RecordStaleServed(double latency_us) {
+  requests_.fetch_add(1);
+  stale_served_.fetch_add(1);
+  stale_latency_.Record(latency_us);
+}
 
 void ServerStats::RecordBatch(size_t batch_size) {
   batches_.fetch_add(1);
@@ -109,6 +123,10 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
   snapshot.requests = requests_.load();
   snapshot.cache_hits = cache_hits_.load();
   snapshot.errors = errors_.load();
+  snapshot.deadline_exceeded = deadline_exceeded_.load();
+  snapshot.shed = shed_.load();
+  snapshot.retried = retried_.load();
+  snapshot.stale_served = stale_served_.load();
   snapshot.batches = batches_.load();
   const uint64_t batched = batched_requests_.load();
   snapshot.avg_batch_size =
@@ -122,6 +140,7 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
                 static_cast<double>(snapshot.requests);
   snapshot.cold = Summarize(cold_latency_);
   snapshot.hit = Summarize(hit_latency_);
+  snapshot.stale = Summarize(stale_latency_);
   return snapshot;
 }
 
@@ -144,10 +163,25 @@ std::string ServerStats::Format(const Snapshot& s) {
                 s.cold.p95_us, s.cold.p99_us, s.cold.mean_us, s.cold.max_us);
   out += buf;
   std::snprintf(buf, sizeof(buf),
+                "deadline_exceeded=%llu shed=%llu retried=%llu "
+                "stale_served=%llu\n",
+                static_cast<unsigned long long>(s.deadline_exceeded),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.retried),
+                static_cast<unsigned long long>(s.stale_served));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
                 "hit  latency (us): n=%llu p50=%.1f p95=%.1f p99=%.1f "
-                "mean=%.1f max=%.1f",
+                "mean=%.1f max=%.1f\n",
                 static_cast<unsigned long long>(s.hit.count), s.hit.p50_us,
                 s.hit.p95_us, s.hit.p99_us, s.hit.mean_us, s.hit.max_us);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "stale latency (us): n=%llu p50=%.1f p95=%.1f p99=%.1f "
+                "mean=%.1f max=%.1f",
+                static_cast<unsigned long long>(s.stale.count), s.stale.p50_us,
+                s.stale.p95_us, s.stale.p99_us, s.stale.mean_us,
+                s.stale.max_us);
   out += buf;
   return out;
 }

@@ -52,14 +52,27 @@ class ServerStats {
   };
 
   struct Snapshot {
+    /// Successfully resolved requests (cold, cache-hit, or stale-served).
     uint64_t requests = 0;
     uint64_t cache_hits = 0;
+    /// Per-request failures other than deadline expiry and load shedding
+    /// (unknown address, degenerate subgraph, cold path down past the
+    /// retry budget, shutdown rejections).
     uint64_t errors = 0;
+    /// Requests resolved kDeadlineExceeded without a forward pass.
+    uint64_t deadline_exceeded = 0;
+    /// Requests shed with kResourceExhausted at admission.
+    uint64_t shed = 0;
+    /// Cold-path retry attempts after transient failures.
+    uint64_t retried = 0;
+    /// Requests answered from a stale cache entry in degraded mode.
+    uint64_t stale_served = 0;
     uint64_t batches = 0;
     double avg_batch_size = 0.0;
     double cache_hit_rate = 0.0;
-    LatencySummary cold;  ///< Full path: materialize + forward pass.
-    LatencySummary hit;   ///< Served from the result cache.
+    LatencySummary cold;   ///< Full path: materialize + forward pass.
+    LatencySummary hit;    ///< Served from the result cache.
+    LatencySummary stale;  ///< Degraded mode: stale entry at an old height.
   };
 
   ServerStats();
@@ -72,6 +85,15 @@ class ServerStats {
   void RecordRequest(double latency_us, bool cache_hit);
   void RecordError();
   void RecordBatch(size_t batch_size);
+  /// Records one request resolved kDeadlineExceeded (not an error).
+  void RecordDeadlineExceeded();
+  /// Records one request shed with kResourceExhausted (not an error).
+  void RecordShed();
+  /// Records one cold-path retry attempt.
+  void RecordRetry();
+  /// Records one request served stale in degraded mode (counts as a
+  /// resolved request; its latency goes into the stale reservoir).
+  void RecordStaleServed(double latency_us);
 
   Snapshot TakeSnapshot() const;
 
@@ -82,10 +104,15 @@ class ServerStats {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> retried_{0};
+  std::atomic<uint64_t> stale_served_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
   LatencyReservoir cold_latency_;
   LatencyReservoir hit_latency_;
+  LatencyReservoir stale_latency_;
 };
 
 }  // namespace serve

@@ -21,10 +21,19 @@ struct ScoreResult {
   /// True when the score was served from the result cache without
   /// materializing the subgraph or running the forward pass.
   bool cache_hit = false;
+  /// True when the score was served in degraded mode from a cache entry
+  /// computed at an older ledger height (reported in `ledger_height`)
+  /// because the cold path was failing or overloaded.
+  bool stale = false;
+  /// Cold-path attempts beyond the first (transient failures retried).
+  int retries = 0;
   /// End-to-end latency (submit -> resolved), microseconds.
   double latency_us = 0.0;
-  /// Non-OK when the address cannot be scored (unknown account, degenerate
-  /// subgraph, service shut down).
+  /// Non-OK when the address cannot be scored: unknown account or
+  /// degenerate subgraph (kNotFound / kFailedPrecondition), deadline
+  /// expiry (kDeadlineExceeded), load shed at admission
+  /// (kResourceExhausted), cold path down past the retry budget
+  /// (kUnavailable), or service shut down (kFailedPrecondition).
   Status status = Status::OK();
 
   bool ok() const { return status.ok(); }
@@ -36,7 +45,16 @@ struct ScoreRequest {
   eth::AccountId address = -1;
   uint64_t ledger_height = 0;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute deadline; only meaningful when `has_deadline` is set. An
+  /// expired request resolves kDeadlineExceeded without a forward pass
+  /// (checked at dispatch and again before each scoring attempt).
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
   std::shared_ptr<std::promise<ScoreResult>> promise;
+
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return has_deadline && now >= deadline;
+  }
 };
 
 }  // namespace serve

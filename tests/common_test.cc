@@ -34,6 +34,31 @@ TEST(StatusTest, AllFactoryCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, ResilienceCodesRenderByName) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
+  EXPECT_EQ(Status::DataLoss("corrupt").ToString(), "DataLoss: corrupt");
+}
+
+TEST(StatusTest, OnlyUnavailableAndResourceExhaustedAreTransient) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
+#include <string>
 
 #include "eth/csv_ledger.h"
 #include "eth/dataset.h"
@@ -68,6 +70,96 @@ TEST(CsvLedgerTest, RejectsMalformedInput) {
     csv << kHeader;  // no rows
     EXPECT_EQ(CsvLedger::FromCsv(&csv).status().code(),
               StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CsvLedgerTest, AcceptsCrlfBomAndFieldWhitespace) {
+  // Spreadsheet exports routinely arrive with a UTF-8 BOM, CRLF line
+  // endings, padded fields and stray blank lines; all of that is noise,
+  // not data, and must parse to the same ledger as the clean form.
+  std::stringstream csv;
+  csv << "\xEF\xBB\xBF"
+      << "from,to,value,timestamp,gas_price,gas_used,to_is_contract\r\n"
+      << " 0xaaa , 0xbbb , 1.5 , 100 , 2e10 , 21000 , 0 \r\n"
+      << "\r\n"
+      << "0xbbb,0xccc,2.0,50,2.1e10,90000, 1\r\n";
+  auto result = CsvLedger::FromCsv(&csv);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& ledger = result.ValueOrDie();
+  ASSERT_EQ(ledger->transactions().size(), 2u);
+  EXPECT_EQ(ledger->accounts().size(), 3u);
+  // Addresses interned without the padding.
+  EXPECT_TRUE(ledger->Resolve("0xaaa").ok());
+  EXPECT_FALSE(ledger->Resolve(" 0xaaa ").ok());
+  const AccountId ccc = ledger->Resolve("0xccc").ValueOrDie();
+  EXPECT_EQ(ledger->accounts()[ccc].kind, AccountKind::kContract);
+  EXPECT_DOUBLE_EQ(ledger->transactions()[1].value, 1.5);  // Sorted by ts.
+
+  // A BOM'd label header parses too.
+  std::stringstream labels;
+  labels << "\xEF\xBB\xBF" << "address,label\r\n" << "0xaaa,exchange\r\n";
+  auto applied = ledger->LoadLabels(&labels);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.ValueOrDie(), 1);
+}
+
+TEST(CsvLedgerTest, RejectsHostileNumericsWithLineNumber) {
+  const auto parse = [](const std::string& row) {
+    std::stringstream csv;
+    csv << kHeader << "a,b,1,1,1,21000,0\n" << row << "\n";
+    return CsvLedger::FromCsv(&csv).status();
+  };
+  // Overflowing exponents, infinities and NaNs must not poison the
+  // feature math or the timestamp sort.
+  for (const char* bad :
+       {"a,b,1e999,1,1,1,0", "a,b,1,inf,1,1,0", "a,b,1,1,nan,1,0",
+        "a,b,1,1,1,-inf,0", "a,b,1.5x,1,1,1,0", "a,b,,1,1,1,0"}) {
+    const Status st = parse(bad);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(st.message().find("line 3"), std::string::npos)
+        << bad << " -> " << st.ToString();
+  }
+  // Whitespace-only addresses are empty addresses, not accounts.
+  EXPECT_EQ(parse("  ,b,1,1,1,1,0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse("a,   ,1,1,1,1,0").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvLedgerTest, RandomMutationsNeverCrashTheParser) {
+  // Property-style robustness: arbitrary single-byte corruptions of a
+  // valid export either parse (the mutation was benign) or fail with a
+  // clean InvalidArgument — never a crash, hang, or empty message.
+  std::string valid;
+  {
+    std::stringstream csv;
+    csv << kHeader;
+    for (int i = 0; i < 8; ++i) {
+      csv << "addr" << i << ",addr" << (i + 1) << "," << (i + 0.5) << ","
+          << i * 10 << ",2e10,21000," << (i % 2) << "\n";
+    }
+    valid = csv.str();
+  }
+  std::mt19937_64 rng(0xc5f);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = valid;
+    const size_t pos = rng() % mutated.size();
+    switch (rng() % 3) {
+      case 0:  // Replace with an arbitrary byte.
+        mutated[pos] = static_cast<char>(rng() & 0xff);
+        break;
+      case 1:  // Drop a byte.
+        mutated.erase(pos, 1);
+        break;
+      default:  // Duplicate a byte.
+        mutated.insert(pos, 1, mutated[pos]);
+        break;
+    }
+    std::stringstream csv(mutated);
+    auto result = CsvLedger::FromCsv(&csv);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << "trial " << trial << ": " << result.status().ToString();
+      EXPECT_FALSE(result.status().message().empty()) << "trial " << trial;
+    }
   }
 }
 

@@ -3,9 +3,13 @@
 // streams must fail with an error instead of yielding garbage.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "calib/adaptive.h"
+#include "common/checkpoint_store.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "core/dbg4eth.h"
@@ -251,6 +255,58 @@ TEST(ModelSerializeTest, FullDbg4EthRoundTrips) {
   for (const auto& inst : ds.instances) {
     EXPECT_DOUBLE_EQ(original.PredictProba(inst),
                      restored->PredictProba(inst));
+  }
+
+  // The checkpoint is framed (magic + version + length + CRC) so
+  // corruption fails loudly instead of restoring a silently wrong model.
+  const std::string framed = stream.str();
+  {
+    std::stringstream probe(framed);
+    EXPECT_TRUE(LooksFramed(&probe));
+  }
+
+  // Legacy pre-framing checkpoints (the bare payload) still load.
+  {
+    std::stringstream whole(framed);
+    auto payload = ReadFramedCheckpoint(&whole);
+    ASSERT_TRUE(payload.ok());
+    std::stringstream legacy(payload.ValueOrDie());
+    auto from_legacy = core::Dbg4Eth::Load(&legacy);
+    ASSERT_TRUE(from_legacy.ok()) << from_legacy.status().ToString();
+    EXPECT_DOUBLE_EQ(original.PredictProba(ds.instances[0]),
+                     from_legacy.ValueOrDie()->PredictProba(ds.instances[0]));
+  }
+
+  // Truncation at any point errors instead of crashing. Sweep every byte
+  // of the head and tail plus a stride through the body (a full per-byte
+  // sweep over a multi-KB model would be quadratic; the frame-level sweep
+  // in checkpoint_store_test covers every offset exhaustively).
+  {
+    std::vector<size_t> cuts;
+    for (size_t i = 0; i < std::min<size_t>(80, framed.size()); ++i) {
+      cuts.push_back(i);
+    }
+    for (size_t i = 80; i + 80 < framed.size(); i += 997) cuts.push_back(i);
+    for (size_t i = framed.size() - std::min<size_t>(80, framed.size());
+         i < framed.size(); ++i) {
+      cuts.push_back(i);
+    }
+    for (size_t cut : cuts) {
+      std::stringstream truncated(framed.substr(0, cut));
+      EXPECT_FALSE(core::Dbg4Eth::Load(&truncated).ok())
+          << "prefix of " << cut << " bytes restored a model";
+    }
+  }
+
+  // A single flipped bit anywhere in the payload fails the CRC.
+  {
+    std::string tampered = framed;
+    tampered[tampered.size() / 2] =
+        static_cast<char>(tampered[tampered.size() / 2] ^ 0x10);
+    std::stringstream corrupt(tampered);
+    auto load = core::Dbg4Eth::Load(&corrupt);
+    ASSERT_FALSE(load.ok());
+    EXPECT_EQ(load.status().code(), StatusCode::kDataLoss);
   }
 }
 

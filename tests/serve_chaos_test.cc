@@ -1,0 +1,361 @@
+// Fault-injection ("chaos") tests: drive the serving layer's retry,
+// degraded-mode and shutdown paths by injecting failures at the
+// DBG4ETH_FAIL_POINT sites. These tests are built into their own ctest
+// target (label "chaos") and skip themselves in builds configured without
+// -DDBG4ETH_FAILPOINTS=ON — the tsan/asan presets turn it on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/dbg4eth.h"
+#include "eth/appendable_ledger.h"
+#include "eth/csv_ledger.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "serve/inference_service.h"
+
+namespace dbg4eth {
+namespace serve {
+namespace {
+
+#define SKIP_WITHOUT_FAILPOINTS()                                         \
+  do {                                                                    \
+    if (!failpoint::kCompiledIn) {                                        \
+      GTEST_SKIP() << "build has no failpoint sites (DBG4ETH_FAILPOINTS " \
+                      "is OFF)";                                          \
+    }                                                                     \
+  } while (false)
+
+/// Same shared workload as serve_integration_test: one ledger, one small
+/// trained model. Skipped entirely (including training) when the build
+/// has no failpoint sites.
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (!failpoint::kCompiledIn) return;
+    eth::LedgerConfig lc;
+    lc.num_normal = 600;
+    lc.num_exchange = 14;
+    lc.num_ico_wallet = 10;
+    lc.num_mining = 8;
+    lc.num_phish_hack = 14;
+    lc.num_bridge = 8;
+    lc.num_defi = 8;
+    lc.duration_days = 90.0;
+    lc.seed = 77;
+    ledger_ = new eth::LedgerSimulator(lc);
+    ASSERT_TRUE(ledger_->Generate().ok());
+
+    eth::DatasetConfig dc;
+    dc.target = eth::AccountClass::kExchange;
+    dc.max_positives = 12;
+    dc.sampling = Sampling();
+    dc.num_time_slices = kTimeSlices;
+    dc.seed = 5;
+    auto ds = eth::BuildDataset(*ledger_, dc);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+    core::Dbg4EthConfig config;
+    config.gsg.hidden_dim = 12;
+    config.gsg.num_heads = 2;
+    config.gsg.epochs = 3;
+    config.gsg.batch_size = 8;
+    config.ldg.hidden_dim = 12;
+    config.ldg.num_time_slices = kTimeSlices;
+    config.ldg.first_level_clusters = 4;
+    config.ldg.epochs = 2;
+    model_ = new core::Dbg4Eth(config);
+    Rng rng(config.seed);
+    auto& dataset = ds.ValueOrDie();
+    const ml::SplitIndices split = ml::StratifiedSplit(
+        dataset.labels(), config.train_fraction, config.val_fraction, &rng);
+    ASSERT_TRUE(model_->Train(&dataset, split).ok());
+
+    std::stringstream checkpoint;
+    ASSERT_TRUE(model_->Save(&checkpoint).ok());
+    checkpoint_ = new std::string(checkpoint.str());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete ledger_;
+    delete checkpoint_;
+    model_ = nullptr;
+    ledger_ = nullptr;
+    checkpoint_ = nullptr;
+  }
+
+  void TearDown() override { failpoint::DisableAll(); }
+
+  static graph::SamplingConfig Sampling() {
+    graph::SamplingConfig sampling;
+    sampling.top_k = 5;
+    sampling.max_nodes = 40;
+    return sampling;
+  }
+
+  static InferenceServiceConfig ServiceConfig(int workers) {
+    InferenceServiceConfig config;
+    config.num_workers = workers;
+    config.queue.max_batch = 4;
+    config.queue.max_wait_us = 500;
+    config.cache.capacity = 256;
+    config.cache.num_shards = 4;
+    config.sampling = Sampling();
+    config.num_time_slices = kTimeSlices;
+    config.retry_backoff_us = 100;
+    return config;
+  }
+
+  static std::unique_ptr<InferenceService> MakeService(
+      const InferenceServiceConfig& config, const eth::Ledger* ledger) {
+    std::stringstream checkpoint(*checkpoint_);
+    auto created = InferenceService::Create(config, &checkpoint, ledger);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    return std::move(created).ValueOrDie();
+  }
+
+  static constexpr int kTimeSlices = 4;
+  static eth::LedgerSimulator* ledger_;
+  static core::Dbg4Eth* model_;
+  static std::string* checkpoint_;
+};
+
+eth::LedgerSimulator* ServeChaosTest::ledger_ = nullptr;
+core::Dbg4Eth* ServeChaosTest::model_ = nullptr;
+std::string* ServeChaosTest::checkpoint_ = nullptr;
+
+TEST_F(ServeChaosTest, RetryRecoversFromTransientColdFailure) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto service = MakeService(ServiceConfig(/*workers=*/1), ledger_);
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+
+  // Evaluations 2, 4, ... fail. With one worker and sequential requests:
+  // the first cold score passes on evaluation 1; the second fails on
+  // evaluation 2, retries, and succeeds on evaluation 3.
+  ASSERT_TRUE(
+      failpoint::Enable("serve.score_cold", failpoint::EveryNth(2)).ok());
+
+  const ScoreResult first = service->Score(exchanges[0]);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(first.retries, 0);
+
+  const ScoreResult second = service->Score(exchanges[1]);
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
+  EXPECT_EQ(second.retries, 1);
+  EXPECT_FALSE(second.stale);
+
+  EXPECT_EQ(failpoint::FireCount("serve.score_cold"), 1u);
+  const ServerStats::Snapshot stats = service->StatsSnapshot();
+  EXPECT_EQ(stats.retried, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServeChaosTest, ExhaustedRetriesFallBackToStaleEntry) {
+  SKIP_WITHOUT_FAILPOINTS();
+  eth::AppendableLedger growable(*ledger_);
+  InferenceServiceConfig config = ServiceConfig(/*workers=*/1);
+  config.max_cold_retries = 1;
+  auto service = MakeService(config, &growable);
+  const auto exchanges =
+      growable.AccountsOfClass(eth::AccountClass::kExchange);
+  const eth::AccountId address = exchanges[0];
+
+  // Healthy warm-up caches the score at the current height.
+  const ScoreResult cold = service->Score(address);
+  ASSERT_TRUE(cold.ok());
+  const uint64_t old_height = service->ledger_height();
+
+  // The chain advances, then the cold path goes down hard.
+  eth::Transaction tx = growable.transactions().back();
+  tx.timestamp += 1.0;
+  ASSERT_TRUE(growable.Append(tx).ok());
+  service->RefreshLedgerHeight();
+  ASSERT_TRUE(failpoint::Enable("serve.score_cold", failpoint::Always())
+                  .ok());
+
+  const ScoreResult stale = service->Score(address);
+  ASSERT_TRUE(stale.ok()) << stale.status.ToString();
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.ledger_height, old_height);
+  EXPECT_DOUBLE_EQ(stale.probability, cold.probability);
+
+  const ServerStats::Snapshot stats = service->StatsSnapshot();
+  EXPECT_EQ(stats.stale_served, 1u);
+  EXPECT_EQ(stats.retried, 1u);  // max_cold_retries before degrading.
+  EXPECT_EQ(stats.errors, 0u);
+  // 1 initial attempt + 1 retry.
+  EXPECT_EQ(failpoint::FireCount("serve.score_cold"), 2u);
+}
+
+TEST_F(ServeChaosTest, ExhaustedRetriesWithoutStaleCorpusIsAnError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  InferenceServiceConfig config = ServiceConfig(/*workers=*/1);
+  config.max_cold_retries = 2;
+  config.serve_stale = false;
+  auto service = MakeService(config, ledger_);
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+
+  ASSERT_TRUE(failpoint::Enable("serve.score_cold", failpoint::Always())
+                  .ok());
+  const ScoreResult result = service->Score(exchanges[0]);
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  const ServerStats::Snapshot stats = service->StatsSnapshot();
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.retried, 2u);
+  EXPECT_EQ(stats.requests, 0u);
+}
+
+TEST_F(ServeChaosTest, CheckpointReadAndWriteFailpointsInject) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ASSERT_TRUE(
+      failpoint::Enable("ckpt.write",
+                        failpoint::Always(StatusCode::kUnavailable))
+          .ok());
+  std::stringstream sink;
+  EXPECT_EQ(model_->Save(&sink).code(), StatusCode::kUnavailable);
+  failpoint::Disable("ckpt.write");
+  ASSERT_TRUE(model_->Save(&sink).ok());
+
+  ASSERT_TRUE(
+      failpoint::Enable("ckpt.read",
+                        failpoint::Always(StatusCode::kDataLoss))
+          .ok());
+  auto loaded = core::Dbg4Eth::Load(&sink);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  failpoint::Disable("ckpt.read");
+  sink.clear();
+  sink.seekg(0);
+  EXPECT_TRUE(core::Dbg4Eth::Load(&sink).ok());
+}
+
+TEST_F(ServeChaosTest, IngestFailpointsInject) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ASSERT_TRUE(failpoint::Enable("eth.from_csv",
+                                failpoint::Always(StatusCode::kUnavailable))
+                  .ok());
+  std::stringstream csv;
+  csv << "from,to,value,timestamp,gas_price,gas_used,to_is_contract\n"
+      << "a,b,1,1,1,21000,0\n";
+  EXPECT_EQ(eth::CsvLedger::FromCsv(&csv).status().code(),
+            StatusCode::kUnavailable);
+  failpoint::Disable("eth.from_csv");
+
+  ASSERT_TRUE(failpoint::Enable("eth.materialize",
+                                failpoint::Always(StatusCode::kUnavailable))
+                  .ok());
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  auto inst = eth::MaterializeInstance(*ledger_, exchanges[0], Sampling(),
+                                       kTimeSlices);
+  EXPECT_EQ(inst.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeChaosTest, SlowPoolTasksDoNotLoseRequests) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ASSERT_TRUE(
+      failpoint::Enable("pool.task", failpoint::SleepFor(1'000)).ok());
+  auto service = MakeService(ServiceConfig(/*workers=*/2), ledger_);
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        service->ScoreAsync(exchanges[i % exchanges.size()]));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());  // Slow, not lost.
+  }
+  EXPECT_GT(failpoint::FireCount("pool.task"), 0u);
+}
+
+// The TSan centerpiece: concurrent clients with mixed deadlines, a cold
+// path failing with probability 0.25, slow workers, and a Shutdown racing
+// the producers. Every future must resolve, and the client-side outcome
+// tally must reconcile exactly with the server's counters.
+TEST_F(ServeChaosTest, ConcurrentChaosWithRacingShutdownReconciles) {
+  SKIP_WITHOUT_FAILPOINTS();
+  InferenceServiceConfig config = ServiceConfig(/*workers=*/4);
+  config.queue.capacity = 32;
+  config.queue.max_wait_us = 300;
+  config.max_cold_retries = 1;
+  auto service = MakeService(config, ledger_);
+
+  ASSERT_TRUE(failpoint::Enable(
+                  "serve.score_cold",
+                  failpoint::WithProbability(0.25, /*seed=*/0xc4a05))
+                  .ok());
+  ASSERT_TRUE(
+      failpoint::Enable("pool.task", failpoint::SleepFor(200)).ok());
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const auto bridges = ledger_->AccountsOfClass(eth::AccountClass::kBridge);
+  std::vector<eth::AccountId> addresses = exchanges;
+  addresses.insert(addresses.end(), bridges.begin(), bridges.end());
+  constexpr int64_t kDeadlines[] = {0, 3'000, 20'000};
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 30;
+  std::atomic<uint64_t> ok_count{0}, deadline_count{0}, shed_count{0},
+      error_count{0}, stale_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<ScoreResult>> futures;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        futures.push_back(
+            service->ScoreAsync(addresses[(c + 2 * i) % addresses.size()],
+                                kDeadlines[(c + i) % 3]));
+      }
+      for (auto& future : futures) {
+        const ScoreResult result = future.get();  // Must always resolve.
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+          if (result.stale) stale_count.fetch_add(1);
+        } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+          deadline_count.fetch_add(1);
+        } else if (result.status.code() == StatusCode::kResourceExhausted) {
+          shed_count.fetch_add(1);
+        } else {
+          error_count.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Shut down while clients are still producing: accepted work must drain,
+  // late submissions must resolve as errors, nothing may hang or race.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service->Shutdown();
+  for (auto& client : clients) client.join();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(ok_count + deadline_count + shed_count + error_count, kTotal);
+
+  const ServerStats::Snapshot stats = service->StatsSnapshot();
+  EXPECT_EQ(stats.requests, ok_count.load());
+  EXPECT_EQ(stats.deadline_exceeded, deadline_count.load());
+  EXPECT_EQ(stats.shed, shed_count.load());
+  EXPECT_EQ(stats.errors, error_count.load());
+  EXPECT_EQ(stats.stale_served, stale_count.load());
+  EXPECT_EQ(stats.requests + stats.errors + stats.deadline_exceeded +
+                stats.shed,
+            kTotal);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dbg4eth

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dbg4eth.h"
+#include "eth/appendable_ledger.h"
 #include "eth/dataset.h"
 #include "eth/ledger.h"
 #include "serve/inference_service.h"
@@ -327,6 +328,137 @@ TEST_F(ServeIntegrationTest, RefreshLedgerHeightInvalidatesCachedScores) {
   EXPECT_TRUE(cache.Get({address, old_height}).has_value());
   cache.InvalidateOlderThan(old_height + 1);
   EXPECT_FALSE(cache.Get({address, old_height}).has_value());
+}
+
+// --------------------------------------------------------------------------
+// Resilience: deadlines, load shedding, degraded (stale) serving
+// --------------------------------------------------------------------------
+
+TEST_F(ServeIntegrationTest, ExpiredDeadlineResolvesWithoutForwardPass) {
+  std::stringstream checkpoint(*checkpoint_);
+  InferenceServiceConfig config = ServiceConfig(1);
+  // The batch never fills, so dispatch happens after max_wait_us — far
+  // beyond the request's deadline.
+  config.queue.max_batch = 64;
+  config.queue.max_wait_us = 100'000;
+  auto created = InferenceService::Create(config, &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const ScoreResult result =
+      service.ScoreAsync(exchanges.front(), /*deadline_us=*/2'000).get();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+
+  const ServerStats::Snapshot stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.cold.count, 0u);  // No forward pass was paid for.
+  EXPECT_EQ(stats.requests, 0u);    // Expiry is not a served request...
+  EXPECT_EQ(stats.errors, 0u);      // ...and not an error either.
+}
+
+TEST_F(ServeIntegrationTest, SaturatedQueueShedsWithResourceExhausted) {
+  std::stringstream checkpoint(*checkpoint_);
+  InferenceServiceConfig config = ServiceConfig(1);
+  config.queue.capacity = 2;
+  config.queue.max_batch = 64;
+  config.queue.max_wait_us = 200'000;  // Accepted requests sit queued.
+  config.serve_stale = false;          // Shed outright, no fallback.
+  auto created = InferenceService::Create(config, &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 3u);
+  std::future<ScoreResult> accepted0 = service.ScoreAsync(exchanges[0]);
+  std::future<ScoreResult> accepted1 = service.ScoreAsync(exchanges[1]);
+  // Capacity 2 is exhausted while the batch forms: admission control must
+  // answer immediately instead of blocking this thread for 200 ms.
+  const ScoreResult shed = service.ScoreAsync(exchanges[2]).get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(accepted0.get().ok());
+  EXPECT_TRUE(accepted1.get().ok());
+  const ServerStats::Snapshot stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServeIntegrationTest, OverloadServesStaleScoreFromPreviousHeight) {
+  eth::AppendableLedger growable(*ledger_);
+  std::stringstream checkpoint(*checkpoint_);
+  InferenceServiceConfig config = ServiceConfig(1);
+  config.queue.capacity = 1;
+  config.queue.max_batch = 64;
+  config.queue.max_wait_us = 200'000;
+  auto created = InferenceService::Create(config, &checkpoint, &growable);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      growable.AccountsOfClass(eth::AccountClass::kExchange);
+  const eth::AccountId address = exchanges[0];
+
+  // Warm the cache at the current height.
+  const ScoreResult cold = service.Score(address);
+  ASSERT_TRUE(cold.ok()) << cold.status.ToString();
+  const uint64_t old_height = service.ledger_height();
+
+  // The chain advances. With serve_stale on, the superseded entry stays
+  // around as the degraded-mode corpus.
+  eth::Transaction tx = growable.transactions().back();
+  tx.timestamp += 1.0;
+  ASSERT_TRUE(growable.Append(tx).ok());
+  service.RefreshLedgerHeight();
+  ASSERT_EQ(service.ledger_height(), old_height + 1);
+
+  // Saturate the queue (capacity 1) with another request, then ask for
+  // the grown-height score: it misses the cache, cannot be admitted, and
+  // degrades to the stale entry instead of shedding.
+  std::future<ScoreResult> blocker = service.ScoreAsync(exchanges[1]);
+  const ScoreResult stale = service.ScoreAsync(address).get();
+  ASSERT_TRUE(stale.ok()) << stale.status.ToString();
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.ledger_height, old_height);
+  EXPECT_DOUBLE_EQ(stale.probability, cold.probability);
+  EXPECT_TRUE(blocker.get().ok());
+
+  const ServerStats::Snapshot stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.stale_served, 1u);
+  EXPECT_EQ(stats.stale.count, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.requests, 3u);  // Two cold scores + one stale serve.
+}
+
+TEST_F(ServeIntegrationTest, AppendableLedgerGrowsAndIndexes) {
+  eth::AppendableLedger growable(*ledger_);
+  const size_t base_txs = ledger_->transactions().size();
+  ASSERT_EQ(growable.transactions().size(), base_txs);
+  ASSERT_EQ(growable.accounts().size(), ledger_->accounts().size());
+  const eth::AccountId a = 0, b = 1;
+  const size_t a_before = growable.TransactionsOf(a).size();
+
+  eth::Transaction tx;
+  tx.from = a;
+  tx.to = b;
+  tx.value = 1.0;
+  tx.timestamp = growable.transactions().back().timestamp + 5.0;
+  ASSERT_TRUE(growable.Append(tx).ok());
+  EXPECT_EQ(growable.transactions().size(), base_txs + 1);
+  EXPECT_EQ(growable.TransactionsOf(a).size(), a_before + 1);
+  EXPECT_EQ(growable.TransactionsOf(a).back(),
+            static_cast<int>(base_txs));
+
+  // Violations are rejected: unknown endpoint, time running backwards.
+  eth::Transaction bad = tx;
+  bad.to = 999'999'999;
+  EXPECT_FALSE(growable.Append(bad).ok());
+  bad = tx;
+  bad.timestamp = 0.0;
+  EXPECT_FALSE(growable.Append(bad).ok());
 }
 
 }  // namespace
