@@ -10,9 +10,12 @@
 //   3. Warm pass over the same addresses: every request is a cache hit;
 //      compares hit latency against the cold path (expected >= 10x lower).
 //
-// p50/p95/p99 latencies come from ServerStats' reservoir sampler.
+// p50/p95/p99 latencies come from ServerStats' shared obs::Histogram
+// instruments. A machine-readable summary goes to BENCH_serve.json (or
+// the path given as argv[1]).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -83,9 +86,19 @@ void PrintLatency(const char* label,
               summary.mean_us);
 }
 
+/// One measured latency distribution for the JSON summary.
+void AppendLatencyJson(std::ofstream* json, const char* key,
+                       const serve::ServerStats::LatencySummary& summary) {
+  *json << "\"" << key << "\": {\"count\": " << summary.count
+        << ", \"p50_us\": " << summary.p50_us
+        << ", \"p95_us\": " << summary.p95_us
+        << ", \"p99_us\": " << summary.p99_us
+        << ", \"mean_us\": " << summary.mean_us << "}";
+}
+
 }  // namespace
 
-int Run() {
+int Run(const std::string& json_path) {
   benchutil::Timer total;
   benchutil::PrintHeader(
       "Serving-layer throughput: sequential vs pooled + batched + cached",
@@ -178,6 +191,12 @@ int Run() {
               "addresses, empty cache):\n");
   double one_worker_rps = 0.0;
   double cold_p50_at_8 = 0.0;
+  struct ColdPoint {
+    int workers = 0;
+    double req_per_s = 0.0;
+    serve::ServerStats::LatencySummary latency;
+  };
+  std::vector<ColdPoint> cold_points;
   for (int workers : {1, 2, 4, 8}) {
     auto stream = std::stringstream(workload.checkpoint);
     auto created = serve::InferenceService::Create(
@@ -196,6 +215,7 @@ int Run() {
                 one_worker_rps > 0 ? rps / one_worker_rps : 1.0,
                 rps / seq_rps, stats.avg_batch_size);
     PrintLatency("cold", stats.cold);
+    cold_points.push_back(ColdPoint{workers, rps, stats.cold});
     service.Shutdown();
   }
   std::printf("  note: cold scoring is CPU-bound; the speedup ceiling is "
@@ -276,10 +296,40 @@ int Run() {
   }
   degraded.Shutdown();
 
+  // --- machine-readable summary ---
+  std::ofstream json(json_path);
+  json << "{\n  \"benchmark\": \"serve_throughput\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"num_addresses\": " << workload.addresses.size() << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"sequential_req_per_s\": " << seq_rps << ",\n"
+       << "  \"cold\": [\n";
+  for (size_t i = 0; i < cold_points.size(); ++i) {
+    const ColdPoint& point = cold_points[i];
+    json << "    {\"workers\": " << point.workers
+         << ", \"req_per_s\": " << point.req_per_s
+         << ", \"speedup_vs_sequential\": " << point.req_per_s / seq_rps
+         << ", ";
+    AppendLatencyJson(&json, "latency", point.latency);
+    json << (i + 1 < cold_points.size() ? "},\n" : "}\n");
+  }
+  json << "  ],\n  ";
+  AppendLatencyJson(&json, "hit", stats.hit);
+  json << ",\n  ";
+  AppendLatencyJson(&json, "stale", dstats.stale);
+  json << ",\n  \"stale_served\": " << dstats.stale_served
+       << ",\n  \"shed\": " << dstats.shed << "\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path.c_str());
+
   benchutil::PrintFooter(total);
   return 0;
 }
 
 }  // namespace dbg4eth
 
-int main() { return dbg4eth::Run(); }
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  return dbg4eth::Run(json_path);
+}

@@ -7,7 +7,9 @@
 // This demo trains a small exchange identifier, saves it, stands up an
 // InferenceService on the checkpoint, hammers it from several client
 // threads (with repeats, so the cache gets exercised), and prints the
-// ServerStats operational report.
+// ServerStats operational report followed by the process-wide metrics in
+// Prometheus text exposition format (the same dump a scrape endpoint
+// would serve).
 //
 // Run: ./build/examples/example_serving_demo
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include "core/dbg4eth.h"
 #include "eth/dataset.h"
 #include "eth/ledger.h"
+#include "obs/export.h"
 #include "serve/inference_service.h"
 
 using namespace dbg4eth;  // Example code; library code never does this.
@@ -116,5 +119,11 @@ int main() {
   std::printf("\n--- ServerStats ---\n%s\n",
               serve::ServerStats::Format(service.StatsSnapshot()).c_str());
   service.Shutdown();
+
+  // Everything the process recorded — serving counters and latency
+  // histograms, training phase timings from the offline phase above,
+  // cache events — in Prometheus text exposition format.
+  std::printf("\n--- metrics (text exposition) ---\n%s",
+              obs::TextExposition().c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace dbg4eth {
 
@@ -68,7 +69,12 @@ Status SyncPath(const std::string& path, bool is_directory) {
     return Status::Internal("open for fsync failed: " + path + ": " +
                             std::strerror(errno));
   }
+  static obs::Histogram* fsync_hist =
+      obs::MetricsRegistry::Global()->HistogramAt(
+          "ckpt_fsync_us", "fsync wall time per checkpoint file/directory");
+  obs::ScopedTimer fsync_timer(fsync_hist);
   const int rc = ::fsync(fd);
+  fsync_timer.Stop();
   ::close(fd);
   if (rc != 0 && !is_directory) {
     return Status::Internal("fsync failed: " + path + ": " +
@@ -199,6 +205,14 @@ std::vector<std::string> CheckpointStore::ListCheckpoints() const {
 
 Result<std::string> CheckpointStore::Save(
     const std::function<Status(std::ostream*)>& writer) {
+  static obs::Histogram* write_hist =
+      obs::MetricsRegistry::Global()->HistogramAt(
+          "ckpt_write_us",
+          "End-to-end checkpoint save wall time (serialize, write, fsync, "
+          "rename, prune)");
+  static obs::Counter* saves_total = obs::MetricsRegistry::Global()->CounterAt(
+      "ckpt_saves_total", "Checkpoint generations written durably");
+  obs::ScopedTimer write_timer(write_hist);
   std::ostringstream payload_stream;
   DBG4ETH_RETURN_NOT_OK(writer(&payload_stream));
   const std::string payload = payload_stream.str();
@@ -241,19 +255,32 @@ Result<std::string> CheckpointStore::Save(
   for (size_t i = static_cast<size_t>(config_.retain); i < all.size(); ++i) {
     fs::remove(all[i], ec);
   }
+  saves_total->Inc();
   return final_path.string();
 }
 
 Result<std::string> CheckpointStore::LoadLatestValid() const {
+  static obs::Histogram* walk_hist =
+      obs::MetricsRegistry::Global()->HistogramAt(
+          "ckpt_recovery_walk_us",
+          "Wall time of the newest-first recovery walk in LoadLatestValid");
+  static obs::Counter* corrupt_total =
+      obs::MetricsRegistry::Global()->CounterAt(
+          "ckpt_corrupt_generations_total",
+          "Checkpoint generations skipped during recovery as unreadable or "
+          "corrupt");
+  obs::ScopedTimer walk_timer(walk_hist);
   for (const std::string& path : ListCheckpoints()) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
+      corrupt_total->Inc();
       DBG4ETH_LOG(Warning) << "checkpoint " << path
                            << " unreadable; trying an older one";
       continue;
     }
     Result<std::string> payload = ReadFramedCheckpoint(&in);
     if (payload.ok()) return payload;
+    corrupt_total->Inc();
     DBG4ETH_LOG(Warning) << "checkpoint " << path << " skipped: "
                          << payload.status().ToString();
   }

@@ -6,6 +6,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace dbg4eth {
 namespace failpoint {
 
@@ -186,6 +188,12 @@ Status Evaluate(const char* name) {
                             : state.spec.message);
     }
   }
+  // The metric lookup takes the registry mutex of MetricsRegistry, so it
+  // stays outside the failpoint registry lock (no nested locking).
+  obs::MetricsRegistry::Global()
+      ->CounterAt("failpoint_fires_total", "Failpoint trigger fires by point",
+                  {{"point", name}})
+      ->Inc();
   // Sleep outside the lock so a slow point never stalls other points.
   if (sleep_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));

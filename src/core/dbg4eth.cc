@@ -9,6 +9,7 @@
 #include "common/serialize.h"
 #include "ml/ensemble.h"
 #include "ml/mlp.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 
 namespace dbg4eth {
@@ -70,15 +71,27 @@ double Dbg4Eth::BranchConfidenceLdg(const eth::GraphInstance& inst) const {
 
 std::vector<double> Dbg4Eth::HeadFeatures(
     const eth::GraphInstance& inst) const {
+  // Spans mark the per-branch pipeline stages; under a serving-side
+  // score_cold root they form the cold-request timing tree.
   std::vector<double> features;
   if (config_.use_gsg) {
+    obs::TraceSpan gsg_span("gsg_forward");
     double p = BranchConfidenceGsg(inst);
-    if (config_.use_calibration) p = gsg_calibrator_->Calibrate(p);
+    gsg_span.End();
+    if (config_.use_calibration) {
+      obs::TraceSpan calibrate_span("calibrate");
+      p = gsg_calibrator_->Calibrate(p);
+    }
     features.push_back(p);
   }
   if (config_.use_ldg) {
+    obs::TraceSpan ldg_span("ldg_forward");
     double p = BranchConfidenceLdg(inst);
-    if (config_.use_calibration) p = ldg_calibrator_->Calibrate(p);
+    ldg_span.End();
+    if (config_.use_calibration) {
+      obs::TraceSpan calibrate_span("calibrate");
+      p = ldg_calibrator_->Calibrate(p);
+    }
     features.push_back(p);
   }
   return features;
@@ -186,6 +199,7 @@ ml::GbdtConfig Dbg4Eth::AdjustedGbdt(int num_samples) const {
 double Dbg4Eth::PredictProba(const eth::GraphInstance& instance) const {
   DBG4ETH_CHECK(trained_);
   const auto features = HeadFeatures(instance);
+  obs::TraceSpan head_span("gbdt");
   return head_->PredictProba(features.data());
 }
 

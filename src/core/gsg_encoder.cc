@@ -6,6 +6,7 @@
 #include "augment/contrastive.h"
 #include "common/logging.h"
 #include "core/parallel_trainer.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -15,6 +16,11 @@ namespace core {
 namespace {
 
 constexpr int kEdgeAggregateDim = 2;
+
+obs::Histogram* TrainHistogram(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global()->HistogramAt(name, help,
+                                                     {{"encoder", "gsg"}});
+}
 
 }  // namespace
 
@@ -114,7 +120,23 @@ Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
   std::unique_ptr<ThreadPool> pool =
       MakeTrainerPool(ResolveNumThreads(config_.num_threads));
 
+  // Timing only observes the loop — it draws no randomness and reorders
+  // nothing, so the bit-identical determinism guarantees are untouched.
+  static obs::Histogram* epoch_hist = TrainHistogram(
+      "train_epoch_us", "Wall time of one training epoch by encoder");
+  static obs::Histogram* forward_hist = TrainHistogram(
+      "train_forward_us", "Per-instance forward-pass wall time by encoder");
+  static obs::Histogram* backward_hist = TrainHistogram(
+      "train_backward_us", "Per-instance backward-pass wall time by encoder");
+  static obs::Histogram* step_hist = TrainHistogram(
+      "train_step_us",
+      "Optimizer clip+step wall time per batch by encoder");
+  static obs::Counter* epochs_total = obs::MetricsRegistry::Global()->CounterAt(
+      "train_epochs_total", "Completed training epochs by encoder",
+      {{"encoder", "gsg"}});
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_hist);
     rng_.Shuffle(&order);
     for (size_t start = 0; start < order.size();
          start += config_.batch_size) {
@@ -146,10 +168,16 @@ Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
             const eth::GraphInstance& inst =
                 dataset.instances[order[start + bi]];
             Rng* rng = &rngs[bi];
+            obs::ScopedTimer forward_timer(forward_hist);
             ag::Tensor emb = EmbedGraph(inst.gsg, /*training=*/true, rng);
             ag::Tensor loss =
                 ag::SoftmaxCrossEntropy(Logits(emb), {inst.label});
-            ag::ScalarMul(loss, 1.0 / batch_count).Backward(buffer);
+            ag::Tensor scaled = ag::ScalarMul(loss, 1.0 / batch_count);
+            forward_timer.Stop();
+            {
+              obs::ScopedTimer backward_timer(backward_hist);
+              scaled.Backward(buffer);
+            }
             if (config_.use_contrastive) {
               const graph::Graph v1 =
                   augment::AugmentGraph(inst.gsg, config_.view1, rng);
@@ -170,9 +198,11 @@ Status GsgEncoder::Train(const eth::SubgraphDataset& dataset,
             augment::NtXentLoss(z1, z2, config_.temperature);
         ag::ScalarMul(contrastive, config_.contrastive_weight).Backward();
       }
+      obs::ScopedTimer step_timer(step_hist);
       opt.ClipGradNorm(config_.grad_clip);
       opt.Step();
     }
+    epochs_total->Inc();
   }
   return Status::OK();
 }

@@ -4,11 +4,21 @@
 
 #include "common/logging.h"
 #include "core/parallel_trainer.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
 namespace dbg4eth {
 namespace core {
+
+namespace {
+
+obs::Histogram* TrainHistogram(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global()->HistogramAt(name, help,
+                                                     {{"encoder", "ldg"}});
+}
+
+}  // namespace
 
 LdgEncoder::LdgEncoder(const LdgEncoderConfig& config)
     : config_(config), rng_(config.seed) {
@@ -113,7 +123,24 @@ Status LdgEncoder::Train(const eth::SubgraphDataset& dataset,
       static_cast<size_t>(std::max(1, config_.batch_size));
   std::unique_ptr<ThreadPool> pool =
       MakeTrainerPool(ResolveNumThreads(config_.num_threads));
+
+  // Timing only observes the loop; shuffles, forks and reduction order are
+  // untouched, so determinism guarantees hold.
+  static obs::Histogram* epoch_hist = TrainHistogram(
+      "train_epoch_us", "Wall time of one training epoch by encoder");
+  static obs::Histogram* forward_hist = TrainHistogram(
+      "train_forward_us", "Per-instance forward-pass wall time by encoder");
+  static obs::Histogram* backward_hist = TrainHistogram(
+      "train_backward_us", "Per-instance backward-pass wall time by encoder");
+  static obs::Histogram* step_hist = TrainHistogram(
+      "train_step_us",
+      "Optimizer clip+step wall time per batch by encoder");
+  static obs::Counter* epochs_total = obs::MetricsRegistry::Global()->CounterAt(
+      "train_epochs_total", "Completed training epochs by encoder",
+      {{"encoder", "ldg"}});
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_hist);
     rng_.Shuffle(&order);
     for (size_t start = 0; start < order.size(); start += batch_size) {
       const size_t end = std::min(order.size(), start + batch_size);
@@ -128,16 +155,21 @@ Status LdgEncoder::Train(const eth::SubgraphDataset& dataset,
           [&](int bi, ag::GradientBuffer* buffer) {
             const eth::GraphInstance& inst =
                 dataset.instances[order[start + bi]];
+            obs::ScopedTimer forward_timer(forward_hist);
             ag::Tensor loss = ag::SoftmaxCrossEntropy(
                 Logits(EmbedSlices(inst.ldg)), {inst.label});
             if (batch_count > 1) {
               loss = ag::ScalarMul(loss, 1.0 / batch_count);
             }
+            forward_timer.Stop();
+            obs::ScopedTimer backward_timer(backward_hist);
             loss.Backward(buffer);
           });
+      obs::ScopedTimer step_timer(step_hist);
       opt.ClipGradNorm(config_.grad_clip);
       opt.Step();
     }
+    epochs_total->Inc();
   }
   return Status::OK();
 }

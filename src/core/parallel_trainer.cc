@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace dbg4eth {
 namespace core {
 
@@ -17,6 +19,11 @@ void ParallelBatchBackward(
   std::vector<ag::GradientBuffer> buffers(batch_count);
   ParallelFor(pool, batch_count,
               [&](int bi) { body(bi, &buffers[bi]); });
+  static obs::Histogram* reduce_hist =
+      obs::MetricsRegistry::Global()->HistogramAt(
+          "train_grad_reduce_us",
+          "Wall time of the serial per-batch gradient reduction");
+  obs::ScopedTimer reduce_timer(reduce_hist);
   // Fixed reduction order = thread-count-independent gradients.
   for (ag::GradientBuffer& buffer : buffers) {
     buffer.ReduceInto();

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "features/node_features.h"
+#include "obs/trace.h"
 
 namespace dbg4eth {
 namespace eth {
@@ -48,19 +49,29 @@ Result<GraphInstance> MaterializeInstance(
     return Status::InvalidArgument("num_time_slices must be >= 1");
   }
   DBG4ETH_FAIL_POINT("eth.materialize");
-  DBG4ETH_ASSIGN_OR_RETURN(TxSubgraph sub,
-                           graph::SampleSubgraph(ledger, center, sampling));
+  obs::TraceSpan span("materialize");
+  obs::TraceSpan sample_span("sample_subgraph");
+  Result<TxSubgraph> sub_result =
+      graph::SampleSubgraph(ledger, center, sampling);
+  sample_span.End();
+  if (!sub_result.ok()) return sub_result.status();
+  TxSubgraph sub = std::move(sub_result).ValueOrDie();
   if (sub.num_nodes() < 3 || sub.txs.empty()) {
     return Status::FailedPrecondition(
         "center yields a degenerate subgraph (< 3 nodes or no transactions)");
   }
   GraphInstance inst;
-  inst.gsg = graph::BuildGlobalStaticGraph(sub);
-  inst.ldg = graph::BuildLocalDynamicGraphs(sub, num_time_slices);
+  {
+    obs::TraceSpan build_span("build_graphs");
+    inst.gsg = graph::BuildGlobalStaticGraph(sub);
+    inst.ldg = graph::BuildLocalDynamicGraphs(sub, num_time_slices);
+  }
+  obs::TraceSpan features_span("node_features");
   const Matrix feats =
       features::LogScaleFeatures(features::ComputeNodeFeatures(sub));
   inst.gsg.node_features = feats;
   for (graph::Graph& slice : inst.ldg) slice.node_features = feats;
+  features_span.End();
   inst.subgraph = std::move(sub);
   return inst;
 }

@@ -1,0 +1,252 @@
+#include "obs/export.h"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dbg4eth {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter:
+      return "counter";
+    case MetricsRegistry::Kind::kGauge:
+      return "gauge";
+    case MetricsRegistry::Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+/// Shortest round-trippable rendering of a double (no trailing zeros).
+std::string Num(double v) { return StrFormat("%g", v); }
+
+/// `base{existing,le="bound"}` — merges the le label into an existing
+/// label string.
+std::string BucketLabels(const std::string& labels, double bound) {
+  const std::string le =
+      std::isinf(bound) ? "+Inf" : Num(bound);
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  std::string out = labels;
+  out.insert(out.size() - 1, ",le=\"" + le + "\"");
+  return out;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendSpanJson(const SpanNode& node, int indent, std::string* out) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  *out += pad + "{\"name\": \"";
+  AppendJsonEscaped(node.name, out);
+  *out += StrFormat("\", \"start_us\": %g, \"duration_us\": %g",
+                    node.start_us, node.duration_us);
+  if (node.children.empty()) {
+    *out += "}";
+    return;
+  }
+  *out += ", \"children\": [\n";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    AppendSpanJson(node.children[i], indent + 2, out);
+    if (i + 1 < node.children.size()) *out += ",";
+    *out += "\n";
+  }
+  *out += pad + "]}";
+}
+
+}  // namespace
+
+std::string TextExposition(const MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Global();
+  std::string out;
+  for (const auto& family : registry->TakeSnapshot()) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + KindName(family.kind) + "\n";
+    for (const auto& inst : family.instruments) {
+      switch (family.kind) {
+        case MetricsRegistry::Kind::kCounter:
+          out += family.name + inst.labels + " " +
+                 StrFormat("%llu", static_cast<unsigned long long>(
+                                       inst.counter_value)) +
+                 "\n";
+          break;
+        case MetricsRegistry::Kind::kGauge:
+          out += family.name + inst.labels + " " + Num(inst.gauge_value) +
+                 "\n";
+          break;
+        case MetricsRegistry::Kind::kHistogram: {
+          const Histogram::Snapshot& h = inst.histogram;
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < h.buckets.size(); ++b) {
+            cumulative += h.buckets[b];
+            const bool last = b + 1 == h.buckets.size();
+            if (h.buckets[b] == 0 && !last) continue;  // Elide empties.
+            out += family.name + "_bucket" +
+                   BucketLabels(inst.labels, h.upper_bounds[b]) + " " +
+                   StrFormat("%llu",
+                             static_cast<unsigned long long>(cumulative)) +
+                   "\n";
+          }
+          out += family.name + "_sum" + inst.labels + " " + Num(h.sum) + "\n";
+          out += family.name + "_count" + inst.labels + " " +
+                 StrFormat("%llu",
+                           static_cast<unsigned long long>(h.count)) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string JsonSnapshot(const MetricsRegistry* registry,
+                         const Tracer* tracer) {
+  if (registry == nullptr) registry = MetricsRegistry::Global();
+  if (tracer == nullptr) tracer = Tracer::Global();
+  std::string out = "{\n  \"metrics\": [\n";
+  const auto families = registry->TakeSnapshot();
+  for (size_t f = 0; f < families.size(); ++f) {
+    const auto& family = families[f];
+    out += "    {\"name\": \"";
+    AppendJsonEscaped(family.name, &out);
+    out += "\", \"kind\": \"";
+    out += KindName(family.kind);
+    out += "\", \"help\": \"";
+    AppendJsonEscaped(family.help, &out);
+    out += "\", \"instruments\": [\n";
+    for (size_t i = 0; i < family.instruments.size(); ++i) {
+      const auto& inst = family.instruments[i];
+      out += "      {\"labels\": \"";
+      AppendJsonEscaped(inst.labels, &out);
+      out += "\", ";
+      switch (family.kind) {
+        case MetricsRegistry::Kind::kCounter:
+          out += StrFormat("\"value\": %llu",
+                           static_cast<unsigned long long>(
+                               inst.counter_value));
+          break;
+        case MetricsRegistry::Kind::kGauge:
+          out += StrFormat("\"value\": %g", inst.gauge_value);
+          break;
+        case MetricsRegistry::Kind::kHistogram: {
+          const Histogram::Snapshot& h = inst.histogram;
+          out += StrFormat(
+              "\"count\": %llu, \"sum\": %g, \"min\": %g, \"max\": %g, "
+              "\"p50\": %g, \"p95\": %g, \"p99\": %g",
+              static_cast<unsigned long long>(h.count), h.sum, h.min, h.max,
+              h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
+          break;
+        }
+      }
+      out += i + 1 < family.instruments.size() ? "},\n" : "}\n";
+    }
+    out += f + 1 < families.size() ? "    ]},\n" : "    ]}\n";
+  }
+  out += "  ],\n  \"spans\": [\n";
+  const auto roots = tracer->Snapshot();
+  for (size_t r = 0; r < roots.size(); ++r) {
+    AppendSpanJson(roots[r], 4, &out);
+    if (r + 1 < roots.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status DumpJson(const std::string& path, const MetricsRegistry* registry,
+                const Tracer* tracer) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << JsonSnapshot(registry, tracer);
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+std::string SummaryLine(const MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Global();
+  std::string out = "obs:";
+  for (const auto& family : registry->TakeSnapshot()) {
+    for (const auto& inst : family.instruments) {
+      out += " " + family.name + inst.labels;
+      switch (family.kind) {
+        case MetricsRegistry::Kind::kCounter:
+          out += StrFormat("=%llu", static_cast<unsigned long long>(
+                                        inst.counter_value));
+          break;
+        case MetricsRegistry::Kind::kGauge:
+          out += "=" + Num(inst.gauge_value);
+          break;
+        case MetricsRegistry::Kind::kHistogram:
+          out += StrFormat(
+              "[n=%llu p50=%s p95=%s]",
+              static_cast<unsigned long long>(inst.histogram.count),
+              Num(inst.histogram.Percentile(0.50)).c_str(),
+              Num(inst.histogram.Percentile(0.95)).c_str());
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+StatsLogger::StatsLogger(const StatsLoggerConfig& config) : config_(config) {
+  if (config_.registry == nullptr) config_.registry = MetricsRegistry::Global();
+  if (!config_.formatter) {
+    config_.formatter = [](const MetricsRegistry* r) {
+      return SummaryLine(r);
+    };
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+StatsLogger::~StatsLogger() { Stop(); }
+
+void StatsLogger::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  EmitOnce();  // Final line: short-lived runs still get one summary.
+}
+
+void StatsLogger::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    EmitOnce();
+    lock.lock();
+  }
+}
+
+void StatsLogger::EmitOnce() {
+  DBG4ETH_LOG(Info) << config_.formatter(config_.registry);
+}
+
+}  // namespace obs
+}  // namespace dbg4eth

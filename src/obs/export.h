@@ -1,0 +1,78 @@
+#ifndef DBG4ETH_OBS_EXPORT_H_
+#define DBG4ETH_OBS_EXPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbg4eth {
+namespace obs {
+
+/// \brief Prometheus-style text exposition of a registry (null = Global).
+///
+/// Families render as `# HELP` / `# TYPE` headers followed by one sample
+/// line per instrument. Histograms expose cumulative `_bucket{le="..."}`
+/// lines (empty buckets are elided to keep dumps readable; `le="+Inf"` is
+/// always present) plus `_sum` and `_count`.
+std::string TextExposition(const MetricsRegistry* registry = nullptr);
+
+/// \brief JSON snapshot of a registry plus the tracer's retained span
+/// trees (nulls = globals). Shape:
+///   { "metrics": [ {"name","kind","help","instruments":[...]} ],
+///     "spans":   [ {"name","start_us","duration_us","children":[...]} ] }
+std::string JsonSnapshot(const MetricsRegistry* registry = nullptr,
+                         const Tracer* tracer = nullptr);
+
+/// Writes JsonSnapshot to `path` (truncating).
+Status DumpJson(const std::string& path,
+                const MetricsRegistry* registry = nullptr,
+                const Tracer* tracer = nullptr);
+
+/// One-line operational digest of a registry: every counter/gauge value
+/// and p50/p95 of every histogram. Default formatter of StatsLogger.
+std::string SummaryLine(const MetricsRegistry* registry = nullptr);
+
+struct StatsLoggerConfig {
+  int64_t interval_ms = 2000;
+  /// Registry summarized each interval; null = Global.
+  MetricsRegistry* registry = nullptr;
+  /// Line producer; null = SummaryLine(registry).
+  std::function<std::string(const MetricsRegistry*)> formatter;
+};
+
+/// \brief Background thread emitting one summary line per interval
+/// through the logging layer (Info level). Starts on construction; Stop
+/// (or destruction) emits one final line so short runs still log.
+class StatsLogger {
+ public:
+  explicit StatsLogger(const StatsLoggerConfig& config = {});
+  ~StatsLogger();
+
+  StatsLogger(const StatsLogger&) = delete;
+  StatsLogger& operator=(const StatsLogger&) = delete;
+
+  /// Stops the thread after a final emission. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  StatsLoggerConfig config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_OBS_EXPORT_H_

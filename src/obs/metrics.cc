@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace obs {
+
+namespace {
+
+/// Round-robin stripe assignment: each thread gets a fixed stripe index
+/// on first use, shared across every histogram (contention only when two
+/// assigned-alike threads record concurrently).
+int ThisThreadStripe(int num_stripes) {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(assigned % static_cast<unsigned>(num_stripes));
+}
+
+void AtomicAddDouble(std::atomic<double>* slot, double delta) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(current, current + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void Gauge::Add(double delta) { AtomicAddDouble(&value_, delta); }
+
+Histogram::Histogram(const HistogramConfig& config)
+    : config_(config),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  DBG4ETH_CHECK_GT(config_.min_value, 0.0);
+  DBG4ETH_CHECK_GT(config_.growth, 1.0);
+  DBG4ETH_CHECK_GE(config_.num_buckets, 1);
+  inv_log2_growth_ = 1.0 / std::log2(config_.growth);
+  const int slots = config_.num_buckets + 2;
+  stripes_ = std::make_unique<Stripe[]>(kStripes);
+  for (int s = 0; s < kStripes; ++s) {
+    stripes_[s].buckets = std::make_unique<std::atomic<uint64_t>[]>(slots);
+    for (int b = 0; b < slots; ++b) {
+      stripes_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int Histogram::BucketIndex(double value) const {
+  // NaN and anything below the first bound land in the underflow bucket.
+  if (!(value >= config_.min_value)) return 0;
+  const int idx =
+      1 + static_cast<int>(std::log2(value / config_.min_value) *
+                           inv_log2_growth_);
+  return std::min(idx, config_.num_buckets + 1);
+}
+
+void Histogram::Record(double value) {
+  Stripe& stripe = stripes_[ThisThreadStripe(kStripes)];
+  stripe.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&stripe.sum, value);
+  AtomicMinDouble(&min_, value);
+  AtomicMaxDouble(&max_, value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (int s = 0; s < kStripes; ++s) {
+    total += stripes_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  const int slots = config_.num_buckets + 2;
+  snap.buckets.assign(slots, 0);
+  for (int s = 0; s < kStripes; ++s) {
+    const Stripe& stripe = stripes_[s];
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < slots; ++b) {
+      snap.buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.upper_bounds.resize(slots);
+  double bound = config_.min_value;
+  snap.upper_bounds[0] = bound;
+  for (int b = 1; b <= config_.num_buckets; ++b) {
+    bound *= config_.growth;
+    snap.upper_bounds[b] = bound;
+  }
+  snap.upper_bounds[slots - 1] = std::numeric_limits<double>::infinity();
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped * double(count))));
+  uint64_t cumulative = 0;
+  size_t bucket = buckets.size() - 1;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      bucket = b;
+      break;
+    }
+  }
+  double value;
+  if (bucket == 0) {
+    value = min;  // Underflow: everything here is <= the first bound.
+  } else if (bucket == buckets.size() - 1) {
+    value = max;  // Overflow has no finite upper bound.
+  } else {
+    const double upper = upper_bounds[bucket];
+    const double lower = upper_bounds[bucket - 1];
+    value = std::sqrt(lower * upper);  // Geometric bucket midpoint.
+  }
+  return std::min(max, std::max(min, value));
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyAt(const std::string& name,
+                                                   const std::string& help,
+                                                   Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else {
+    DBG4ETH_CHECK(it->second.kind == kind)
+        << "metric family " << name << " re-registered with another kind";
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::CounterAt(const std::string& name,
+                                    const std::string& help,
+                                    const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyAt(name, help, Kind::kCounter);
+  Instrument& inst = family->instruments[RenderLabels(labels)];
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GaugeAt(const std::string& name,
+                                const std::string& help,
+                                const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyAt(name, help, Kind::kGauge);
+  Instrument& inst = family->instruments[RenderLabels(labels)];
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::HistogramAt(const std::string& name,
+                                        const std::string& help,
+                                        const LabelSet& labels,
+                                        const HistogramConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyAt(name, help, Kind::kHistogram);
+  Instrument& inst = family->instruments[RenderLabels(labels)];
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(config);
+  return inst.histogram.get();
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::TakeSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family.help;
+    fs.kind = family.kind;
+    fs.instruments.reserve(family.instruments.size());
+    for (const auto& [labels, inst] : family.instruments) {
+      InstrumentSnapshot is;
+      is.labels = labels;
+      if (inst.counter) is.counter_value = inst.counter->Value();
+      if (inst.gauge) is.gauge_value = inst.gauge->Value();
+      if (inst.histogram) is.histogram = inst.histogram->TakeSnapshot();
+      fs.instruments.push_back(std::move(is));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dbg4eth

@@ -1,0 +1,237 @@
+#ifndef DBG4ETH_OBS_METRICS_H_
+#define DBG4ETH_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbg4eth {
+namespace obs {
+
+/// \brief Process-wide metrics primitives (see DESIGN.md "Observability").
+///
+/// Three instrument kinds, all safe for concurrent update from any number
+/// of threads with no mutex on the record path:
+///   Counter    monotone event count (relaxed atomic add).
+///   Gauge      last-written double (relaxed atomic store / CAS add).
+///   Histogram  exponential-bucket distribution with stripe-sharded
+///              atomic bucket counts and quantile extraction.
+///
+/// Instruments live in a MetricsRegistry keyed by (family name, label
+/// set). Families carry a help string and a kind; instruments within a
+/// family differ only in labels ("serve_latency_us{path=cold}" vs
+/// "{path=hit}"). Pointers returned by the registry are stable for the
+/// registry's lifetime, so call sites resolve them once (typically into a
+/// function-local static) and record through the raw pointer afterwards.
+
+/// One metric label set, e.g. {{"path", "cold"}}. Order is preserved and
+/// significant: {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} are
+/// distinct instruments. Keep sets small and values low-cardinality.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders a label set as `{k="v",k2="v2"}` (empty string for no labels);
+/// used both as the registry's instrument key and in text exposition.
+std::string RenderLabels(const LabelSet& labels);
+
+/// \brief Monotonically increasing event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-value instrument (queue depths, in-flight counts, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Bucket layout of a Histogram: `num_buckets` geometric buckets
+/// starting at `min_value` and growing by `growth` per bucket, plus an
+/// underflow bucket below `min_value` and an overflow bucket above the
+/// top bound.
+struct HistogramConfig {
+  double min_value = 0.1;
+  double growth = 1.18920711500272107;  ///< 2^(1/4): 4 buckets/doubling.
+  int num_buckets = 140;                ///< 0.1 us .. ~2^35*0.1 us (~57 min).
+
+  /// The default layout, tuned for microsecond latencies: sub-us cache
+  /// hits up to ~hour-scale wall times at <= +-9% bucket error.
+  static HistogramConfig LatencyUs() { return HistogramConfig(); }
+};
+
+/// \brief Exponential-bucket histogram.
+///
+/// Record() is wait-free: it bumps one atomic bucket slot in the calling
+/// thread's stripe (threads are round-robined over a fixed stripe set, so
+/// concurrent recorders rarely share a cache line) plus stripe-local
+/// count/sum and global min/max CAS slots. Snapshots merge the stripes.
+///
+/// Quantiles are exact given the bucketization: the reported value is the
+/// geometric midpoint of the nearest-rank bucket, clamped to the observed
+/// [min, max], so the relative error is bounded by sqrt(growth) (~9% for
+/// the default 4-buckets-per-doubling layout).
+class Histogram {
+ public:
+  explicit Histogram(const HistogramConfig& config = HistogramConfig());
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  /// \brief Point-in-time merge of all stripes.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< Smallest recorded value (0 when count == 0).
+    double max = 0.0;  ///< Largest recorded value (0 when count == 0).
+    /// Per-bucket counts: [0] underflow, [1..num_buckets] finite buckets,
+    /// [num_buckets+1] overflow.
+    std::vector<uint64_t> buckets;
+    /// Inclusive upper bound of each bucket; the last is +infinity.
+    std::vector<double> upper_bounds;
+
+    /// Nearest-rank quantile, q in [0, 1]; 0 when nothing was recorded.
+    double Percentile(double q) const;
+    double Mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  uint64_t Count() const;
+  /// Convenience single-quantile read (snapshots internally).
+  double Percentile(double q) const { return TakeSnapshot().Percentile(q); }
+
+  const HistogramConfig& config() const { return config_; }
+
+ private:
+  /// Bucket index of `value` in [0, num_buckets + 1].
+  int BucketIndex(double value) const;
+
+  static constexpr int kStripes = 16;
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  HistogramConfig config_;
+  double inv_log2_growth_ = 0.0;
+  std::unique_ptr<Stripe[]> stripes_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// \brief Records wall time in microseconds into a histogram when the
+/// scope ends. A null histogram makes the timer a no-op, so call sites
+/// can instrument conditionally without branching around the timed code.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { Stop(); }
+
+  /// Records the elapsed time now and disarms the destructor, for timed
+  /// windows that end before the enclosing scope does. Idempotent.
+  void Stop() {
+    if (histogram_ != nullptr) histogram_->Record(elapsed_us());
+    histogram_ = nullptr;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Name -> instrument-family registry behind the exporters.
+///
+/// FindOrCreate semantics: the first *At call for a (name, labels) pair
+/// creates the instrument; later calls return the same pointer. A name
+/// must keep one kind and help string for the process lifetime
+/// (re-registration with a different kind aborts: that is a programming
+/// error, not an operational condition). Lookup takes the registry mutex;
+/// hot paths should cache the returned pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all library call sites record into.
+  static MetricsRegistry* Global();
+
+  Counter* CounterAt(const std::string& name, const std::string& help,
+                     const LabelSet& labels = {});
+  Gauge* GaugeAt(const std::string& name, const std::string& help,
+                 const LabelSet& labels = {});
+  Histogram* HistogramAt(
+      const std::string& name, const std::string& help,
+      const LabelSet& labels = {},
+      const HistogramConfig& config = HistogramConfig::LatencyUs());
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// \brief Deep, consistent-enough copy of every family for exporters;
+  /// deterministic order (families by name, instruments by label string).
+  struct InstrumentSnapshot {
+    std::string labels;  ///< Rendered label string ("" for none).
+    uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    Histogram::Snapshot histogram;  ///< Only meaningful for kHistogram.
+  };
+  struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<InstrumentSnapshot> instruments;
+  };
+  std::vector<FamilySnapshot> TakeSnapshot() const;
+
+ private:
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::map<std::string, Instrument> instruments;  ///< By label string.
+  };
+
+  Family* FamilyAt(const std::string& name, const std::string& help,
+                   Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace obs
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_OBS_METRICS_H_

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dbg4eth {
+namespace obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+/// One active (not yet finished) span on this thread.
+struct Frame {
+  const char* name = nullptr;
+  Clock::time_point start;
+  Tracer* tracer = nullptr;  ///< Destination; set by the root frame.
+  SpanNode node;             ///< Finished children accumulate here.
+};
+
+/// Per-thread active-span stack. Spans are strictly scoped, so LIFO order
+/// is guaranteed by construction; no synchronization is needed until a
+/// root finishes.
+thread_local std::vector<Frame> t_stack;
+thread_local Clock::time_point t_root_start;
+
+void AppendTree(const SpanNode& node, int depth, double parent_start,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += StrFormat("%-*s %12.1fus", 28 - 2 * depth, node.name.c_str(),
+                    node.duration_us);
+  if (depth > 0) {
+    *out += StrFormat("  (+%.1fus)", node.start_us - parent_start);
+  }
+  *out += "\n";
+  for (const SpanNode& child : node.children) {
+    AppendTree(child, depth + 1, node.start_us, out);
+  }
+}
+
+}  // namespace
+
+const SpanNode* FindSpan(const SpanNode& root, const std::string& name) {
+  if (root.name == name) return &root;
+  for (const SpanNode& child : root.children) {
+    if (const SpanNode* found = FindSpan(child, name)) return found;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SpanNames(const SpanNode& root) {
+  std::vector<std::string> names;
+  names.push_back(root.name);
+  for (const SpanNode& child : root.children) {
+    for (std::string& name : SpanNames(child)) {
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+std::string FormatSpanTree(const SpanNode& root) {
+  std::string out;
+  AppendTree(root, 0, 0.0, &out);
+  return out;
+}
+
+Tracer::Tracer(const TracerConfig& config)
+    : config_(config), sample_every_n_(config.sample_every_n) {}
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  roots_finished_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SpanNode> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanNode>(ring_.begin(), ring_.end());
+}
+
+std::optional<SpanNode> Tracer::LatestRoot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->name == name) return *it;
+  }
+  return std::nullopt;
+}
+
+void Tracer::RecordRoot(SpanNode&& root) {
+  const uint64_t nth = roots_finished_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t every = sample_every_n_.load(std::memory_order_relaxed);
+  if (every == 0 || nth % every != 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (ring_.size() >= config_.buffer_capacity) ring_.pop_front();
+  ring_.push_back(std::move(root));
+}
+
+TraceSpan::TraceSpan(const char* name, Tracer* tracer) {
+  start_ = Clock::now();
+  Frame frame;
+  frame.name = name;
+  frame.start = start_;
+  if (t_stack.empty()) {
+    t_root_start = start_;
+    frame.tracer = tracer != nullptr ? tracer : Tracer::Global();
+  }
+  frame.node.name = name;
+  frame.node.start_us = ElapsedUs(t_root_start, start_);
+  frame_index_ = t_stack.size();
+  t_stack.push_back(std::move(frame));
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  DBG4ETH_CHECK_EQ(frame_index_, t_stack.size() - 1)
+      << "TraceSpan finished out of stack order";
+  Frame frame = std::move(t_stack.back());
+  t_stack.pop_back();
+  frame.node.duration_us = ElapsedUs(frame.start, Clock::now());
+  if (t_stack.empty()) {
+    frame.tracer->RecordRoot(std::move(frame.node));
+  } else {
+    t_stack.back().node.children.push_back(std::move(frame.node));
+  }
+}
+
+double TraceSpan::elapsed_us() const {
+  return ElapsedUs(start_, Clock::now());
+}
+
+}  // namespace obs
+}  // namespace dbg4eth

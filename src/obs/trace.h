@@ -1,0 +1,132 @@
+#ifndef DBG4ETH_OBS_TRACE_H_
+#define DBG4ETH_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dbg4eth {
+namespace obs {
+
+/// \brief One finished span in a timing tree. Offsets and durations are
+/// microseconds on the steady clock; `start_us` is relative to the root
+/// span's start, so siblings order by it and a child's
+/// [start_us, start_us + duration_us] interval nests inside its parent's.
+struct SpanNode {
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  std::vector<SpanNode> children;
+};
+
+/// First span named `name` in a depth-first walk of `root`, or nullptr.
+const SpanNode* FindSpan(const SpanNode& root, const std::string& name);
+
+/// Depth-first span names of the tree (root first).
+std::vector<std::string> SpanNames(const SpanNode& root);
+
+/// Indented multi-line rendering, one span per line:
+///   score_cold                      312845.2us
+///     materialize                    88211.7us  (+0.4us)
+std::string FormatSpanTree(const SpanNode& root);
+
+struct TracerConfig {
+  /// Finished root trees retained (ring buffer: oldest evicted first).
+  size_t buffer_capacity = 64;
+  /// Keep the 1st, (n+1)th, (2n+1)th... finished root; 1 keeps every
+  /// root, 0 keeps none. Sampling bounds the cost of bursty producers
+  /// (training loops emitting thousands of roots) without losing the
+  /// first tree of a fresh run.
+  uint64_t sample_every_n = 1;
+};
+
+/// \brief Bounded buffer of sampled, finished span trees.
+///
+/// Span structure is accumulated per thread with no synchronization (see
+/// TraceSpan); the tracer is only touched when a *root* span finishes,
+/// under one short lock. Snapshot copies the retained trees out.
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer all library spans record into.
+  static Tracer* Global();
+
+  /// Disabled tracers drop roots at finish time (spans still run, so
+  /// nesting stays consistent across an enable flip).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void SetSampleEveryN(uint64_t n) {
+    sample_every_n_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Drops retained trees and resets the sampling phase (so the next
+  /// finished root is kept again).
+  void Clear();
+
+  /// Root spans finished so far (sampled or not).
+  uint64_t roots_finished() const {
+    return roots_finished_.load(std::memory_order_relaxed);
+  }
+
+  /// Retained trees, oldest first.
+  std::vector<SpanNode> Snapshot() const;
+
+  /// Newest retained root with this name, if any.
+  std::optional<SpanNode> LatestRoot(const std::string& name) const;
+
+  /// Called by TraceSpan when a root finishes; applies sampling. Public
+  /// so tests can inject hand-built trees.
+  void RecordRoot(SpanNode&& root);
+
+ private:
+  TracerConfig config_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> sample_every_n_;
+  std::atomic<uint64_t> roots_finished_{0};
+  mutable std::mutex mu_;
+  std::deque<SpanNode> ring_;
+};
+
+/// \brief RAII timing scope. Spans opened while another span is active on
+/// the same thread become its children; the outermost span is the root
+/// and delivers the finished tree to its tracer (sampled). Spans must be
+/// stack-ordered per thread — natural with scoped locals. Creation costs
+/// one steady-clock read; finishing costs another plus a small tree node,
+/// so spans belong on ms-scale operations, not nanosecond hot paths.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals). Null tracer = Global.
+  explicit TraceSpan(const char* name, Tracer* tracer = nullptr);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Finishes the span before scope exit (idempotent).
+  void End();
+
+  /// Microseconds since construction (live reads are fine).
+  double elapsed_us() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  size_t frame_index_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbg4eth {
 namespace serve {
@@ -18,6 +20,22 @@ double ElapsedUs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - since)
       .count();
+}
+
+/// Time a request spends between ScoreAsync admission and a worker
+/// picking it out of its batch (queueing + dispatch + pool hand-off).
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global()->HistogramAt(
+      "serve_queue_wait_us",
+      "Admission-to-worker wait of batched requests, microseconds");
+  return hist;
+}
+
+/// Requests still queued after the dispatcher popped the current batch.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global()->GaugeAt(
+      "serve_queue_depth", "Requests waiting in the admission queue");
+  return gauge;
 }
 
 }  // namespace
@@ -167,6 +185,7 @@ void InferenceService::DispatchLoop() {
   std::vector<ScoreRequest> batch;
   while (queue_.PopBatch(&batch)) {
     stats_.RecordBatch(batch.size());
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     auto shared =
         std::make_shared<std::vector<ScoreRequest>>(std::move(batch));
     // Submit blocks when all workers are busy and the pool queue is full —
@@ -188,6 +207,7 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
   // result. This is where micro-batching pays beyond amortized dispatch.
   std::unordered_map<uint64_t, double> scored;  // packed key -> probability
   for (ScoreRequest& request : *batch) {
+    QueueWaitHistogram()->Record(ElapsedUs(request.enqueue_time));
     const ResultCache::Key key{request.address, request.ledger_height};
     const uint64_t packed =
         (static_cast<uint64_t>(static_cast<uint32_t>(request.address))
@@ -308,12 +328,20 @@ void InferenceService::ResolveError(const ScoreRequest& request,
 }
 
 Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
+  // Root of the cold-request timing tree: materialize (sample_subgraph,
+  // build_graphs, node_features), normalize, then the forward stages
+  // emitted inside PredictProba (gsg_forward, calibrate, ldg_forward,
+  // gbdt). See DESIGN.md "Observability".
+  obs::TraceSpan span("score_cold");
   DBG4ETH_FAIL_POINT("serve.score_cold");
   DBG4ETH_ASSIGN_OR_RETURN(
       eth::GraphInstance instance,
       eth::MaterializeInstance(*ledger_, address, config_.sampling,
                                config_.num_time_slices));
-  model_->Normalize(&instance);
+  {
+    obs::TraceSpan normalize_span("normalize");
+    model_->Normalize(&instance);
+  }
   return model_->PredictProba(instance);
 }
 

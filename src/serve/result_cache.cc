@@ -4,9 +4,23 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dbg4eth {
 namespace serve {
+
+namespace {
+
+/// Process-wide result-cache mirrors, aggregated across every cache
+/// instance (each cache keeps exact per-instance counters too).
+obs::Counter* CacheCounter(const char* outcome) {
+  return obs::MetricsRegistry::Global()->CounterAt(
+      "serve_cache_events_total",
+      "Result-cache lookups and evictions by outcome",
+      {{"outcome", outcome}});
+}
+
+}  // namespace
 
 ResultCache::ResultCache(const ResultCacheConfig& config) {
   DBG4ETH_CHECK_GE(config.capacity, 1u);
@@ -30,11 +44,15 @@ std::optional<double> ResultCache::Get(const Key& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1);
+    static obs::Counter* miss_mirror = CacheCounter("miss");
+    miss_mirror->Inc();
     return std::nullopt;
   }
   // Move to the front (most recently used).
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1);
+  static obs::Counter* hit_mirror = CacheCounter("hit");
+  hit_mirror->Inc();
   return it->second->probability;
 }
 
@@ -52,6 +70,8 @@ void ResultCache::Put(const Key& key, double probability) {
     shard.index.erase(victim.key);
     shard.lru.pop_back();
     evictions_.fetch_add(1);
+    static obs::Counter* eviction_mirror = CacheCounter("eviction");
+    eviction_mirror->Inc();
   }
   shard.lru.push_front(Entry{key, probability});
   shard.index.emplace(key, shard.lru.begin());

@@ -1,6 +1,5 @@
 #include "serve/server_stats.h"
 
-#include <algorithm>
 #include <cstdio>
 
 namespace dbg4eth {
@@ -8,136 +7,148 @@ namespace serve {
 
 namespace {
 
-/// xorshift64*: tiny deterministic generator for reservoir replacement
-/// slots; quality needs are minimal and it keeps the critical section
-/// short.
-uint64_t NextRandom(uint64_t* state) {
-  uint64_t x = *state;
-  x ^= x >> 12;
-  x ^= x << 25;
-  x ^= x >> 27;
-  *state = x;
-  return x * 0x2545f4914f6cdd1dULL;
+/// Batch-size buckets: exact up to ~max_batch scales (growth 2, min 1).
+obs::HistogramConfig BatchSizeBuckets() {
+  obs::HistogramConfig config;
+  config.min_value = 1.0;
+  config.growth = 2.0;
+  config.num_buckets = 16;
+  return config;
 }
 
-}  // namespace
-
-LatencyReservoir::LatencyReservoir(size_t capacity, uint64_t seed)
-    : capacity_(std::max<size_t>(1, capacity)),
-      rng_state_(seed ? seed : 1) {
-  samples_.reserve(capacity_);
-}
-
-void LatencyReservoir::Record(double latency_us) {
-  const uint64_t n = count_.fetch_add(1);  // Index of this observation.
-  std::lock_guard<std::mutex> lock(mu_);
-  sum_us_ += latency_us;
-  max_us_ = std::max(max_us_, latency_us);
-  if (samples_.size() < capacity_) {
-    samples_.push_back(latency_us);
-    return;
-  }
-  // Algorithm R: keep observation n with probability capacity/(n+1).
-  const uint64_t slot = NextRandom(&rng_state_) % (n + 1);
-  if (slot < capacity_) samples_[slot] = latency_us;
-}
-
-double LatencyReservoir::Percentile(double q) const {
-  std::vector<double> sorted;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sorted = samples_;
-  }
-  if (sorted.empty()) return 0.0;
-  std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::min(1.0, std::max(0.0, q));
-  const size_t rank = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(clamped * static_cast<double>(sorted.size())));
-  return sorted[rank];
-}
-
-double LatencyReservoir::MeanUs() const {
-  const uint64_t n = count_.load();
-  if (n == 0) return 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_us_ / static_cast<double>(n);
-}
-
-double LatencyReservoir::MaxUs() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_us_;
-}
-
-ServerStats::ServerStats()
-    : cold_latency_(4096, 0xc01d),
-      hit_latency_(4096, 0xcac4e),
-      stale_latency_(4096, 0x57a1e) {}
-
-void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
-  requests_.fetch_add(1);
-  if (cache_hit) {
-    cache_hits_.fetch_add(1);
-    hit_latency_.Record(latency_us);
-  } else {
-    cold_latency_.Record(latency_us);
-  }
-}
-
-void ServerStats::RecordError() { errors_.fetch_add(1); }
-
-void ServerStats::RecordDeadlineExceeded() { deadline_exceeded_.fetch_add(1); }
-
-void ServerStats::RecordShed() { shed_.fetch_add(1); }
-
-void ServerStats::RecordRetry() { retried_.fetch_add(1); }
-
-void ServerStats::RecordStaleServed(double latency_us) {
-  requests_.fetch_add(1);
-  stale_served_.fetch_add(1);
-  stale_latency_.Record(latency_us);
-}
-
-void ServerStats::RecordBatch(size_t batch_size) {
-  batches_.fetch_add(1);
-  batched_requests_.fetch_add(batch_size);
-}
-
-namespace {
-
-ServerStats::LatencySummary Summarize(const LatencyReservoir& reservoir) {
+ServerStats::LatencySummary Summarize(const obs::Histogram& histogram) {
+  const obs::Histogram::Snapshot snap = histogram.TakeSnapshot();
   ServerStats::LatencySummary summary;
-  summary.count = reservoir.count();
-  summary.p50_us = reservoir.Percentile(0.50);
-  summary.p95_us = reservoir.Percentile(0.95);
-  summary.p99_us = reservoir.Percentile(0.99);
-  summary.mean_us = reservoir.MeanUs();
-  summary.max_us = reservoir.MaxUs();
+  summary.count = snap.count;
+  summary.p50_us = snap.Percentile(0.50);
+  summary.p95_us = snap.Percentile(0.95);
+  summary.p99_us = snap.Percentile(0.99);
+  summary.mean_us = snap.Mean();
+  summary.max_us = snap.max;
   return summary;
 }
 
 }  // namespace
 
+ServerStats::ServerStats(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry* reg =
+      registry != nullptr ? registry : obs::MetricsRegistry::Global();
+  const char* kRequestsHelp =
+      "Resolved scoring requests by path (cold forward pass, cache hit, "
+      "degraded stale serve)";
+  mirror_requests_cold_ =
+      reg->CounterAt("serve_requests_total", kRequestsHelp,
+                     {{"path", "cold"}});
+  mirror_requests_hit_ = reg->CounterAt("serve_requests_total", kRequestsHelp,
+                                        {{"path", "hit"}});
+  mirror_requests_stale_ = reg->CounterAt("serve_requests_total",
+                                          kRequestsHelp, {{"path", "stale"}});
+  mirror_errors_ = reg->CounterAt(
+      "serve_errors_total", "Requests resolved with a non-retryable error");
+  mirror_deadline_exceeded_ = reg->CounterAt(
+      "serve_deadline_exceeded_total",
+      "Requests resolved kDeadlineExceeded without a forward pass");
+  mirror_shed_ = reg->CounterAt(
+      "serve_shed_total",
+      "Requests shed with kResourceExhausted at admission control");
+  mirror_retries_ = reg->CounterAt(
+      "serve_retries_total", "Cold-path retry attempts beyond the first");
+  mirror_batches_ = reg->CounterAt("serve_batches_total",
+                                   "Micro-batches dispatched to the pool");
+  const char* kLatencyHelp =
+      "End-to-end request latency in microseconds by path";
+  mirror_latency_cold_ = reg->HistogramAt("serve_latency_us", kLatencyHelp,
+                                          {{"path", "cold"}});
+  mirror_latency_hit_ = reg->HistogramAt("serve_latency_us", kLatencyHelp,
+                                         {{"path", "hit"}});
+  mirror_latency_stale_ = reg->HistogramAt("serve_latency_us", kLatencyHelp,
+                                           {{"path", "stale"}});
+  mirror_batch_size_ =
+      reg->HistogramAt("serve_batch_size", "Requests per dispatched batch",
+                       {}, BatchSizeBuckets());
+}
+
+void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_latency_.Record(latency_us);
+    mirror_requests_hit_->Inc();
+    mirror_latency_hit_->Record(latency_us);
+  } else {
+    cold_latency_.Record(latency_us);
+    mirror_requests_cold_->Inc();
+    mirror_latency_cold_->Record(latency_us);
+  }
+}
+
+void ServerStats::RecordError() {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  mirror_errors_->Inc();
+}
+
+void ServerStats::RecordDeadlineExceeded() {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  mirror_deadline_exceeded_->Inc();
+}
+
+void ServerStats::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  mirror_shed_->Inc();
+}
+
+void ServerStats::RecordRetry() {
+  retried_.fetch_add(1, std::memory_order_relaxed);
+  mirror_retries_->Inc();
+}
+
+void ServerStats::RecordStaleServed(double latency_us) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  stale_served_.fetch_add(1, std::memory_order_relaxed);
+  stale_latency_.Record(latency_us);
+  mirror_requests_stale_->Inc();
+  mirror_latency_stale_->Record(latency_us);
+}
+
+void ServerStats::RecordBatch(size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+  mirror_batches_->Inc();
+  mirror_batch_size_->Record(static_cast<double>(batch_size));
+}
+
 ServerStats::Snapshot ServerStats::TakeSnapshot() const {
+  // All counters are independent relaxed atomics: one explicit-ordering
+  // pass up front reads them as close together in time as possible, and
+  // the derived ratios below are computed from these loads only (never
+  // from a second, later read that could disagree).
+  const uint64_t requests = requests_.load(std::memory_order_relaxed);
+  const uint64_t cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  const uint64_t errors = errors_.load(std::memory_order_relaxed);
+  const uint64_t deadline =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  const uint64_t shed = shed_.load(std::memory_order_relaxed);
+  const uint64_t retried = retried_.load(std::memory_order_relaxed);
+  const uint64_t stale_served = stale_served_.load(std::memory_order_relaxed);
+  const uint64_t batches = batches_.load(std::memory_order_relaxed);
+  const uint64_t batched = batched_requests_.load(std::memory_order_relaxed);
+
   Snapshot snapshot;
-  snapshot.requests = requests_.load();
-  snapshot.cache_hits = cache_hits_.load();
-  snapshot.errors = errors_.load();
-  snapshot.deadline_exceeded = deadline_exceeded_.load();
-  snapshot.shed = shed_.load();
-  snapshot.retried = retried_.load();
-  snapshot.stale_served = stale_served_.load();
-  snapshot.batches = batches_.load();
-  const uint64_t batched = batched_requests_.load();
+  snapshot.requests = requests;
+  snapshot.cache_hits = cache_hits;
+  snapshot.errors = errors;
+  snapshot.deadline_exceeded = deadline;
+  snapshot.shed = shed;
+  snapshot.retried = retried;
+  snapshot.stale_served = stale_served;
+  snapshot.batches = batches;
   snapshot.avg_batch_size =
-      snapshot.batches == 0
-          ? 0.0
-          : static_cast<double>(batched) / static_cast<double>(snapshot.batches);
+      batches == 0 ? 0.0
+                   : static_cast<double>(batched) / static_cast<double>(batches);
   snapshot.cache_hit_rate =
-      snapshot.requests == 0
+      requests == 0
           ? 0.0
-          : static_cast<double>(snapshot.cache_hits) /
-                static_cast<double>(snapshot.requests);
+          : static_cast<double>(cache_hits) / static_cast<double>(requests);
   snapshot.cold = Summarize(cold_latency_);
   snapshot.hit = Summarize(hit_latency_);
   snapshot.stale = Summarize(stale_latency_);

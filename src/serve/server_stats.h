@@ -3,43 +3,23 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace dbg4eth {
 namespace serve {
 
-/// \brief Fixed-size uniform reservoir (Vitter's Algorithm R) of latency
-/// samples. Thread-safe; Record is one short critical section.
-class LatencyReservoir {
- public:
-  explicit LatencyReservoir(size_t capacity = 4096, uint64_t seed = 0x5eed);
-
-  void Record(double latency_us);
-
-  /// Number of Record calls (not the number retained).
-  uint64_t count() const { return count_.load(); }
-
-  /// q in [0, 1]; nearest-rank percentile over the retained sample.
-  /// Returns 0 when nothing was recorded.
-  double Percentile(double q) const;
-  double MeanUs() const;
-  double MaxUs() const;
-
- private:
-  const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  uint64_t rng_state_;
-  double max_us_ = 0.0;
-  double sum_us_ = 0.0;
-  std::atomic<uint64_t> count_{0};
-};
-
 /// \brief Operational counters and latency distributions of the serving
 /// layer. All mutators are thread-safe; Snapshot gives a consistent-enough
 /// point-in-time view for reporting.
+///
+/// Latency distributions are obs::Histogram instances (the shared
+/// exponential-bucket implementation — quantile logic lives in src/obs,
+/// not here). Each ServerStats keeps its *own* histograms so per-service
+/// snapshots stay isolated, and additionally mirrors every event into the
+/// process-wide obs::MetricsRegistry (`serve_*` families), so exporters
+/// see serving traffic aggregated across services without extra plumbing.
 class ServerStats {
  public:
   struct LatencySummary {
@@ -75,13 +55,16 @@ class ServerStats {
     LatencySummary stale;  ///< Degraded mode: stale entry at an old height.
   };
 
-  ServerStats();
+  /// `registry` receives the process-wide mirror instruments; null uses
+  /// the global registry (tests may pass their own to observe mirrors in
+  /// isolation).
+  explicit ServerStats(obs::MetricsRegistry* registry = nullptr);
 
   ServerStats(const ServerStats&) = delete;
   ServerStats& operator=(const ServerStats&) = delete;
 
   /// Records one finished request: its end-to-end latency goes into the
-  /// cold or cache-hit reservoir.
+  /// cold or cache-hit histogram.
   void RecordRequest(double latency_us, bool cache_hit);
   void RecordError();
   void RecordBatch(size_t batch_size);
@@ -92,7 +75,7 @@ class ServerStats {
   /// Records one cold-path retry attempt.
   void RecordRetry();
   /// Records one request served stale in degraded mode (counts as a
-  /// resolved request; its latency goes into the stale reservoir).
+  /// resolved request; its latency goes into the stale histogram).
   void RecordStaleServed(double latency_us);
 
   Snapshot TakeSnapshot() const;
@@ -110,9 +93,23 @@ class ServerStats {
   std::atomic<uint64_t> stale_served_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
-  LatencyReservoir cold_latency_;
-  LatencyReservoir hit_latency_;
-  LatencyReservoir stale_latency_;
+  obs::Histogram cold_latency_;
+  obs::Histogram hit_latency_;
+  obs::Histogram stale_latency_;
+
+  // Process-wide mirrors (owned by the registry; pointers are stable).
+  obs::Counter* mirror_requests_cold_;
+  obs::Counter* mirror_requests_hit_;
+  obs::Counter* mirror_requests_stale_;
+  obs::Counter* mirror_errors_;
+  obs::Counter* mirror_deadline_exceeded_;
+  obs::Counter* mirror_shed_;
+  obs::Counter* mirror_retries_;
+  obs::Counter* mirror_batches_;
+  obs::Histogram* mirror_latency_cold_;
+  obs::Histogram* mirror_latency_hit_;
+  obs::Histogram* mirror_latency_stale_;
+  obs::Histogram* mirror_batch_size_;
 };
 
 }  // namespace serve

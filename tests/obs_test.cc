@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbg4eth {
+namespace obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Counter / Gauge
+// --------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 100000; ++i) counter.Inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), 800000u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 10.0);
+  gauge.Add(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 7.5);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 1000; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Integer-valued doubles below 2^53 add exactly, so the CAS loop must
+  // not lose a single increment.
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4000.0);
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+HistogramConfig SmallConfig() {
+  HistogramConfig config;
+  config.min_value = 1.0;
+  config.growth = 2.0;
+  config.num_buckets = 4;  // Bounds 1, 2, 4, 8, 16, +Inf.
+  return config;
+}
+
+TEST(HistogramTest, TracksExactCountSumMinMax) {
+  Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Record(i);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 50.5);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndWithinBucketError) {
+  Histogram histogram;  // Default latency layout: +-9% bucket error.
+  for (int i = 1; i <= 100; ++i) histogram.Record(i);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  const double p50 = snap.Percentile(0.50);
+  const double p95 = snap.Percentile(0.95);
+  const double p99 = snap.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 50.0, 50.0 * 0.10);
+  EXPECT_NEAR(p95, 95.0, 95.0 * 0.10);
+  EXPECT_NEAR(p99, 99.0, 99.0 * 0.10);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(p50, snap.min);
+  EXPECT_LE(p99, snap.max);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowLandInEdgeBuckets) {
+  Histogram histogram(SmallConfig());
+  histogram.Record(0.01);  // Below min_value: underflow bucket.
+  histogram.Record(1e9);   // Above the top bound: overflow bucket.
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // Underflow quantile reports the observed min, overflow the observed
+  // max (those buckets have no usable midpoint).
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.25), 0.01);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 1e9);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreExact) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < 10000; ++i) {
+        histogram.Record(static_cast<double>(i % 100 + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 80000u);
+  // 8 threads x 100 full cycles of sum(1..100) = 8 * 100 * 5050; every
+  // addend is an integer-valued double, so the striped sums are exact.
+  EXPECT_DOUBLE_EQ(snap.sum, 4040000.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ScopedTimerTest, RecordsOnceIntoHistogram) {
+  Histogram histogram;
+  {
+    ScopedTimer timer(&histogram);
+    timer.Stop();
+    timer.Stop();  // Idempotent: the destructor must not record again.
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  ScopedTimer noop(nullptr);  // Null histogram: records nowhere.
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a1 = registry.CounterAt("a_total", "help", {{"k", "1"}});
+  Counter* a2 = registry.CounterAt("a_total", "help", {{"k", "1"}});
+  Counter* b = registry.CounterAt("a_total", "help", {{"k", "2"}});
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  Histogram* h1 = registry.HistogramAt("h_us", "help");
+  Histogram* h2 = registry.HistogramAt("h_us", "help");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.CounterAt("zzz_total", "last");
+  registry.GaugeAt("aaa_depth", "first");
+  registry.CounterAt("mmm_total", "middle", {{"b", "2"}});
+  registry.CounterAt("mmm_total", "middle", {{"a", "1"}});
+  const auto families = registry.TakeSnapshot();
+  ASSERT_EQ(families.size(), 3u);
+  EXPECT_EQ(families[0].name, "aaa_depth");
+  EXPECT_EQ(families[1].name, "mmm_total");
+  EXPECT_EQ(families[2].name, "zzz_total");
+  ASSERT_EQ(families[1].instruments.size(), 2u);
+  EXPECT_LT(families[1].instruments[0].labels,
+            families[1].instruments[1].labels);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAndRecordsAreSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string label = std::to_string(t % 2);
+      for (int i = 0; i < 1000; ++i) {
+        registry.CounterAt("hammer_total", "help", {{"shard", label}})->Inc();
+        registry.HistogramAt("hammer_us", "help")->Record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t total = 0;
+  for (const auto& family : registry.TakeSnapshot()) {
+    if (family.name != "hammer_total") continue;
+    for (const auto& inst : family.instruments) total += inst.counter_value;
+  }
+  EXPECT_EQ(total, 8000u);
+  EXPECT_EQ(registry.HistogramAt("hammer_us", "help")->Count(), 8000u);
+}
+
+TEST(RenderLabelsTest, FormatsPrometheusStyle) {
+  EXPECT_EQ(RenderLabels({}), "");
+  EXPECT_EQ(RenderLabels({{"path", "cold"}}), "{path=\"cold\"}");
+  EXPECT_EQ(RenderLabels({{"a", "1"}, {"b", "2"}}), "{a=\"1\",b=\"2\"}");
+}
+
+// --------------------------------------------------------------------------
+// Trace spans
+// --------------------------------------------------------------------------
+
+TEST(TraceSpanTest, NestedScopesBuildOrderedTree) {
+  Tracer tracer;
+  {
+    TraceSpan root("root", &tracer);
+    {
+      TraceSpan a("a");
+      { TraceSpan g("g"); }
+    }
+    { TraceSpan b("b"); }
+  }
+  const auto tree = tracer.LatestRoot("root");
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(SpanNames(*tree),
+            (std::vector<std::string>{"root", "a", "g", "b"}));
+  ASSERT_EQ(tree->children.size(), 2u);
+  const SpanNode& a = tree->children[0];
+  const SpanNode& b = tree->children[1];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(b.name, "b");
+  ASSERT_EQ(a.children.size(), 1u);
+  EXPECT_EQ(a.children[0].name, "g");
+  // Siblings are ordered by start and nested intervals stay inside the
+  // parent.
+  EXPECT_GE(b.start_us, a.start_us);
+  EXPECT_GE(a.duration_us, a.children[0].duration_us);
+  EXPECT_LE(a.duration_us + b.duration_us, tree->duration_us + 1e-6);
+  const SpanNode* g = FindSpan(*tree, "g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(FindSpan(*tree, "missing"), nullptr);
+  EXPECT_FALSE(FormatSpanTree(*tree).empty());
+}
+
+TEST(TraceSpanTest, ExplicitEndIsIdempotent) {
+  Tracer tracer;
+  TraceSpan root("root", &tracer);
+  root.End();
+  root.End();
+  EXPECT_EQ(tracer.roots_finished(), 1u);
+  EXPECT_GE(root.elapsed_us(), 0.0);
+}
+
+TEST(TracerTest, SamplingKeepsFirstAndEveryNth) {
+  TracerConfig config;
+  config.buffer_capacity = 64;
+  Tracer tracer(config);
+  tracer.SetSampleEveryN(3);
+  for (int i = 0; i < 7; ++i) {
+    SpanNode node;
+    node.name = "r" + std::to_string(i);
+    tracer.RecordRoot(std::move(node));
+  }
+  EXPECT_EQ(tracer.roots_finished(), 7u);
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);  // Roots 0, 3, 6.
+  EXPECT_EQ(kept[0].name, "r0");
+  EXPECT_EQ(kept[1].name, "r3");
+  EXPECT_EQ(kept[2].name, "r6");
+}
+
+TEST(TracerTest, RingEvictsOldestBeyondCapacity) {
+  TracerConfig config;
+  config.buffer_capacity = 4;
+  Tracer tracer(config);
+  for (int i = 0; i < 10; ++i) {
+    SpanNode node;
+    node.name = "r" + std::to_string(i);
+    tracer.RecordRoot(std::move(node));
+  }
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().name, "r6");  // Oldest retained first.
+  EXPECT_EQ(kept.back().name, "r9");
+}
+
+TEST(TracerTest, DisabledTracerDropsRootsButCounts) {
+  Tracer tracer;
+  tracer.SetEnabled(false);
+  SpanNode node;
+  node.name = "dropped";
+  tracer.RecordRoot(std::move(node));
+  EXPECT_EQ(tracer.roots_finished(), 1u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  tracer.SetEnabled(true);
+  SpanNode kept;
+  kept.name = "kept";
+  tracer.RecordRoot(std::move(kept));
+  EXPECT_TRUE(tracer.LatestRoot("kept").has_value());
+}
+
+TEST(TracerTest, ClearResetsRetainedTreesAndSamplingPhase) {
+  Tracer tracer;
+  tracer.SetSampleEveryN(5);
+  SpanNode first;
+  first.name = "first";
+  tracer.RecordRoot(std::move(first));
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  // The sampling phase restarted, so the very next root is kept again.
+  SpanNode next;
+  next.name = "next";
+  tracer.RecordRoot(std::move(next));
+  EXPECT_TRUE(tracer.LatestRoot("next").has_value());
+}
+
+TEST(TracerTest, ConcurrentRootsFromManyThreadsAreRetained) {
+  TracerConfig config;
+  config.buffer_capacity = 1024;
+  Tracer tracer(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan root("worker_root", &tracer);
+        TraceSpan child("worker_child");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.roots_finished(), 400u);
+  EXPECT_EQ(tracer.Snapshot().size(), 400u);
+}
+
+// --------------------------------------------------------------------------
+// Exporters
+// --------------------------------------------------------------------------
+
+/// A registry with one family of each kind and known contents.
+void FillSampleRegistry(MetricsRegistry* registry) {
+  registry->CounterAt("events_total", "Test events", {{"kind", "a"}})->Inc(3);
+  registry->CounterAt("events_total", "Test events", {{"kind", "b"}})->Inc(1);
+  registry->GaugeAt("queue_depth", "Depth")->Set(2.5);
+  Histogram* hist =
+      registry->HistogramAt("lat_us", "Latency", {}, SmallConfig());
+  hist->Record(0.5);    // Underflow bucket (le="1").
+  hist->Record(3.0);    // Bucket le="4".
+  hist->Record(100.0);  // Overflow bucket (le="+Inf").
+}
+
+TEST(TextExpositionTest, MatchesGoldenOutput) {
+  MetricsRegistry registry;
+  FillSampleRegistry(&registry);
+  const std::string expected =
+      "# HELP events_total Test events\n"
+      "# TYPE events_total counter\n"
+      "events_total{kind=\"a\"} 3\n"
+      "events_total{kind=\"b\"} 1\n"
+      "# HELP lat_us Latency\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"1\"} 1\n"
+      "lat_us_bucket{le=\"4\"} 2\n"
+      "lat_us_bucket{le=\"+Inf\"} 3\n"
+      "lat_us_sum 103.5\n"
+      "lat_us_count 3\n"
+      "# HELP queue_depth Depth\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 2.5\n";
+  EXPECT_EQ(TextExposition(&registry), expected);
+}
+
+TEST(JsonSnapshotTest, ContainsMetricsAndSpans) {
+  MetricsRegistry registry;
+  FillSampleRegistry(&registry);
+  Tracer tracer;
+  {
+    TraceSpan root("score_cold", &tracer);
+    TraceSpan child("materialize");
+  }
+  const std::string json = JsonSnapshot(&registry, &tracer);
+  EXPECT_NE(json.find("\"name\": \"events_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"score_cold\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"materialize\""), std::string::npos);
+}
+
+TEST(JsonSnapshotTest, DumpJsonWritesFile) {
+  MetricsRegistry registry;
+  FillSampleRegistry(&registry);
+  Tracer tracer;
+  const std::string path = testing::TempDir() + "/obs_dump_test.json";
+  ASSERT_TRUE(DumpJson(path, &registry, &tracer).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  EXPECT_EQ(contents.front(), '{');
+  EXPECT_EQ(contents, JsonSnapshot(&registry, &tracer));
+  std::remove(path.c_str());
+}
+
+TEST(SummaryLineTest, ListsEveryInstrument) {
+  MetricsRegistry registry;
+  FillSampleRegistry(&registry);
+  const std::string line = SummaryLine(&registry);
+  EXPECT_NE(line.find("events_total{kind=\"a\"}=3"), std::string::npos);
+  EXPECT_NE(line.find("queue_depth=2.5"), std::string::npos);
+  EXPECT_NE(line.find("lat_us[n=3"), std::string::npos);
+}
+
+TEST(StatsLoggerTest, EmitsAtLeastOnceBeforeStop) {
+  MetricsRegistry registry;
+  std::atomic<int> emissions{0};
+  StatsLoggerConfig config;
+  config.interval_ms = 5;
+  config.registry = &registry;
+  config.formatter = [&emissions](const MetricsRegistry*) {
+    emissions.fetch_add(1);
+    return std::string("test summary");
+  };
+  {
+    StatsLogger logger(config);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  // Stop always emits one final line, so short runs still log.
+  EXPECT_GE(emissions.load(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dbg4eth

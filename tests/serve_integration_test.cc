@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -13,6 +15,7 @@
 #include "eth/appendable_ledger.h"
 #include "eth/dataset.h"
 #include "eth/ledger.h"
+#include "obs/trace.h"
 #include "serve/inference_service.h"
 
 namespace dbg4eth {
@@ -222,6 +225,51 @@ TEST_F(ServeIntegrationTest, RepeatQueriesHitTheCache) {
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.hit.count, 1u);
   EXPECT_EQ(stats.cold.count, 1u);
+}
+
+TEST_F(ServeIntegrationTest, ColdScoreProducesStageSpans) {
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->SetSampleEveryN(1);
+  tracer->Clear();
+
+  std::stringstream checkpoint(*checkpoint_);
+  auto created =
+      InferenceService::Create(ServiceConfig(1), &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  const ScoreResult result = service.Score(exchanges.front());
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  ASSERT_FALSE(result.cache_hit);
+
+  // One cold score must have delivered a full pipeline timing tree: the
+  // worker finishes the root span before the promise resolves, so the
+  // tree is visible here once Score returns.
+  const auto tree = tracer->LatestRoot("score_cold");
+  ASSERT_TRUE(tree.has_value());
+  const std::vector<std::string> names = SpanNames(*tree);
+  for (const char* stage :
+       {"materialize", "sample_subgraph", "node_features", "normalize",
+        "gsg_forward", "ldg_forward", "calibrate", "gbdt"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), stage), names.end())
+        << "missing stage span: " << stage;
+  }
+  EXPECT_GE(names.size() - 1, 5u);  // >= 5 named stages under the root.
+
+  // The tree is physically consistent: children start inside the parent
+  // and sibling durations sum to at most the parent's duration.
+  std::function<void(const obs::SpanNode&)> check =
+      [&check](const obs::SpanNode& node) {
+        double child_sum = 0.0;
+        for (const obs::SpanNode& child : node.children) {
+          EXPECT_GE(child.start_us + 1e-6, node.start_us);
+          child_sum += child.duration_us;
+          check(child);
+        }
+        EXPECT_LE(child_sum, node.duration_us + 1e-6);
+      };
+  check(*tree);
 }
 
 TEST_F(ServeIntegrationTest, UnknownAddressResolvesWithErrorNotCrash) {

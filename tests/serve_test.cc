@@ -259,28 +259,8 @@ TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
 }
 
 // --------------------------------------------------------------------------
-// ServerStats / LatencyReservoir
+// ServerStats (latency distributions ride on obs::Histogram)
 // --------------------------------------------------------------------------
-
-TEST(LatencyReservoirTest, ExactPercentilesBelowCapacity) {
-  LatencyReservoir reservoir(1024);
-  for (int i = 1; i <= 100; ++i) reservoir.Record(i);
-  EXPECT_EQ(reservoir.count(), 100u);
-  EXPECT_NEAR(reservoir.Percentile(0.50), 51.0, 1.0);
-  EXPECT_NEAR(reservoir.Percentile(0.95), 96.0, 1.0);
-  EXPECT_NEAR(reservoir.Percentile(0.99), 100.0, 1.0);
-  EXPECT_NEAR(reservoir.MeanUs(), 50.5, 1e-9);
-  EXPECT_DOUBLE_EQ(reservoir.MaxUs(), 100.0);
-}
-
-TEST(LatencyReservoirTest, ReservoirStaysBoundedAboveCapacity) {
-  LatencyReservoir reservoir(64);
-  for (int i = 0; i < 10000; ++i) reservoir.Record(5.0);
-  EXPECT_EQ(reservoir.count(), 10000u);
-  // Every sample equals 5, so any retained subset agrees.
-  EXPECT_DOUBLE_EQ(reservoir.Percentile(0.5), 5.0);
-  EXPECT_DOUBLE_EQ(reservoir.Percentile(0.99), 5.0);
-}
 
 TEST(ServerStatsTest, CountersAndSnapshot) {
   ServerStats stats;

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full verification flow: the tier-1 gate plus the observability and
+# serving suites under ThreadSanitizer.
+#
+#   tools/check.sh            # tier-1 + tsan obs/serve
+#   tools/check.sh --fast     # tier-1 only
+#
+# Run from anywhere; paths resolve relative to the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+echo "=== tier-1: configure + build + ctest (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest -L tier1 --no-tests=error --output-on-failure -j"$(nproc)")
+
+if [[ "${fast}" == "1" ]]; then
+  echo "=== fast mode: skipping tsan pass ==="
+  exit 0
+fi
+
+echo "=== tsan: configure + build (build-tsan/) ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j
+
+echo "=== tsan: obs suite (ctest -L obs) ==="
+(cd build-tsan && ctest -L obs --no-tests=error --output-on-failure -j"$(nproc)")
+
+echo "=== tsan: serve + chaos suites ==="
+(cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache" \
+    --no-tests=error --output-on-failure -j"$(nproc)")
+
+echo "=== all checks passed ==="
