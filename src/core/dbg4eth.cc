@@ -10,6 +10,7 @@
 #include "ml/ensemble.h"
 #include "ml/mlp.h"
 #include "obs/trace.h"
+#include "tensor/inference.h"
 #include "tensor/serialize.h"
 
 namespace dbg4eth {
@@ -198,9 +199,70 @@ ml::GbdtConfig Dbg4Eth::AdjustedGbdt(int num_samples) const {
 
 double Dbg4Eth::PredictProba(const eth::GraphInstance& instance) const {
   DBG4ETH_CHECK(trained_);
+  // Prediction never needs gradients, so the branch forwards run tape-free
+  // on the thread-local arena. No-op if a scope is already bound (batched
+  // path) or the fast path is globally disabled.
+  ag::InferenceScope scope;
   const auto features = HeadFeatures(instance);
   obs::TraceSpan head_span("gbdt");
   return head_->PredictProba(features.data());
+}
+
+std::vector<double> Dbg4Eth::PredictProbaBatch(
+    const std::vector<const eth::GraphInstance*>& instances) const {
+  DBG4ETH_CHECK(trained_);
+  if (instances.empty()) return {};
+  ag::InferenceScope scope;
+
+  // Branch scores through one packed forward each, then the same
+  // confidence + calibration transform the solo path applies per instance.
+  std::vector<std::vector<double>> feature_cols;
+  if (config_.use_gsg) {
+    obs::TraceSpan gsg_span("gsg_packed_forward");
+    std::vector<const graph::Graph*> graphs;
+    graphs.reserve(instances.size());
+    for (const eth::GraphInstance* inst : instances) {
+      DBG4ETH_CHECK(inst != nullptr);
+      graphs.push_back(&inst->gsg);
+    }
+    std::vector<double> scores = gsg_->PredictScoreBatch(graphs);
+    gsg_span.End();
+    for (double& s : scores) s = gsg_scaler_.ToConfidence(s);
+    if (config_.use_calibration) {
+      obs::TraceSpan calibrate_span("calibrate");
+      for (double& s : scores) s = gsg_calibrator_->Calibrate(s);
+    }
+    feature_cols.push_back(std::move(scores));
+  }
+  if (config_.use_ldg) {
+    obs::TraceSpan ldg_span("ldg_packed_forward");
+    std::vector<const std::vector<graph::Graph>*> slice_lists;
+    slice_lists.reserve(instances.size());
+    for (const eth::GraphInstance* inst : instances) {
+      DBG4ETH_CHECK(inst != nullptr);
+      slice_lists.push_back(&inst->ldg);
+    }
+    std::vector<double> scores = ldg_->PredictScoreBatch(slice_lists);
+    ldg_span.End();
+    for (double& s : scores) s = ldg_scaler_.ToConfidence(s);
+    if (config_.use_calibration) {
+      obs::TraceSpan calibrate_span("calibrate");
+      for (double& s : scores) s = ldg_calibrator_->Calibrate(s);
+    }
+    feature_cols.push_back(std::move(scores));
+  }
+
+  obs::TraceSpan head_span("gbdt");
+  std::vector<double> features(feature_cols.size());
+  std::vector<double> probs;
+  probs.reserve(instances.size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (size_t c = 0; c < feature_cols.size(); ++c) {
+      features[c] = feature_cols[c][i];
+    }
+    probs.push_back(head_->PredictProba(features.data()));
+  }
+  return probs;
 }
 
 void Dbg4Eth::Normalize(eth::GraphInstance* instance) const {

@@ -1,0 +1,83 @@
+#include "graph/pack.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dbg4eth {
+namespace graph {
+
+PackedBlocks MakePackedBlocks(const std::vector<int>& block_nodes) {
+  PackedBlocks pack;
+  pack.node_offsets.reserve(block_nodes.size() + 1);
+  pack.node_offsets.push_back(0);
+  for (int n : block_nodes) {
+    DBG4ETH_CHECK_GT(n, 0);
+    pack.total_nodes += n;
+    pack.node_offsets.push_back(pack.total_nodes);
+  }
+  return pack;
+}
+
+std::shared_ptr<const SparseMatrix> ConcatBlockDiagonal(
+    const PackedBlocks& pack,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& blocks) {
+  DBG4ETH_CHECK_EQ(static_cast<int>(blocks.size()), pack.num_blocks());
+  size_t nnz = 0;
+  for (const auto& block : blocks) {
+    DBG4ETH_CHECK(block != nullptr);
+    nnz += static_cast<size_t>(block->nnz());
+  }
+  std::vector<int> row_offsets;
+  row_offsets.reserve(pack.total_nodes + 1);
+  row_offsets.push_back(0);
+  std::vector<int> col_indices;
+  col_indices.reserve(nnz);
+  std::vector<double> values;
+  values.reserve(nnz);
+  for (int b = 0; b < pack.num_blocks(); ++b) {
+    const SparseMatrix& block = *blocks[b];
+    const int shift = pack.begin(b);
+    const int n = pack.end(b) - shift;
+    DBG4ETH_CHECK_EQ(block.rows(), n);
+    DBG4ETH_CHECK_EQ(block.cols(), n);
+    const std::vector<int>& offsets = block.row_offsets();
+    const std::vector<int>& cols = block.col_indices();
+    const std::vector<double>& vals = block.values();
+    for (int r = 0; r < n; ++r) {
+      for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+        col_indices.push_back(cols[e] + shift);
+        values.push_back(vals[e]);
+      }
+      row_offsets.push_back(static_cast<int>(values.size()));
+    }
+  }
+  return std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromCsr(pack.total_nodes, pack.total_nodes,
+                            std::move(row_offsets), std::move(col_indices),
+                            std::move(values)));
+}
+
+Matrix StackBlockRows(const std::vector<const Matrix*>& blocks) {
+  DBG4ETH_CHECK(!blocks.empty());
+  const int cols = blocks.front()->cols();
+  int total_rows = 0;
+  for (const Matrix* block : blocks) {
+    DBG4ETH_CHECK(block != nullptr);
+    DBG4ETH_CHECK_EQ(block->cols(), cols);
+    total_rows += block->rows();
+  }
+  Matrix out(total_rows, cols);
+  int off = 0;
+  for (const Matrix* block : blocks) {
+    if (!block->empty()) {
+      std::memcpy(out.RowPtr(off), block->RowPtr(0),
+                  block->size() * sizeof(double));
+    }
+    off += block->rows();
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace dbg4eth

@@ -1,0 +1,56 @@
+#ifndef DBG4ETH_GRAPH_PACK_H_
+#define DBG4ETH_GRAPH_PACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace dbg4eth {
+namespace graph {
+
+/// \brief Node-offset bookkeeping of a block-diagonal micro-batch.
+///
+/// The inference fast path scores a micro-batch of sampled subgraphs with
+/// one fused forward by packing them into a single disjoint-union graph:
+/// block b's nodes occupy packed rows [begin(b), end(b)), its adjacency
+/// (or attention support) becomes a diagonal block of one big CSR
+/// operator, and its node features a contiguous row range of one stacked
+/// matrix. Because every operator is block-diagonal, each block's rows of
+/// any packed product equal that block's solo product bit for bit; the
+/// per-graph readouts then slice their row ranges back out.
+struct PackedBlocks {
+  int total_nodes = 0;
+  /// Size num_blocks() + 1; block b spans [node_offsets[b],
+  /// node_offsets[b + 1]).
+  std::vector<int> node_offsets;
+
+  int num_blocks() const {
+    return static_cast<int>(node_offsets.empty() ? 0
+                                                 : node_offsets.size() - 1);
+  }
+  int begin(int b) const { return node_offsets[b]; }
+  int end(int b) const { return node_offsets[b + 1]; }
+};
+
+/// Offsets for blocks with the given node counts (all must be > 0).
+PackedBlocks MakePackedBlocks(const std::vector<int>& block_nodes);
+
+/// Disjoint-union (block-diagonal) concatenation of per-graph square CSR
+/// operators: block b's rows and columns both shift by pack.begin(b).
+/// Values are copied verbatim, so packed SpMM / masked products reproduce
+/// the per-block solo results exactly. Each blocks[b] must be
+/// (end(b)-begin(b)) square.
+std::shared_ptr<const SparseMatrix> ConcatBlockDiagonal(
+    const PackedBlocks& pack,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& blocks);
+
+/// Vertically stacks per-graph node-feature matrices (equal column
+/// counts) into one (sum of rows) x cols matrix.
+Matrix StackBlockRows(const std::vector<const Matrix*>& blocks);
+
+}  // namespace graph
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_GRAPH_PACK_H_

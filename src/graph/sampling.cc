@@ -1,8 +1,9 @@
 #include "graph/sampling.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace dbg4eth {
 namespace graph {
@@ -15,15 +16,62 @@ struct PeerStats {
   double avg() const { return count > 0 ? total_value / count : 0.0; }
 };
 
-/// Counterparty aggregate for one account, built from its incident txs.
-std::unordered_map<eth::AccountId, PeerStats> CollectPeers(
-    const eth::Ledger& ledger, eth::AccountId node) {
-  std::unordered_map<eth::AccountId, PeerStats> peers;
+/// Per-thread scratch reused across SampleSubgraph calls. The cold serving
+/// path samples one subgraph per request, and the per-call hash sets
+/// (selected nodes, local index map, induced-transaction dedup, per-node
+/// peer aggregation) dominated its cost: a 48-node neighborhood around a
+/// high-degree account touches thousands of incident transactions, each
+/// paying hash inserts and lookups. Epoch-stamped marker arrays over the
+/// ledger's account and transaction id spaces make every membership test
+/// one indexed load; bumping the epoch empties a "set" in O(1), so the
+/// arrays are reused across calls without clearing. Results are identical
+/// to the hash-based version — only the lookup structure changed.
+struct SamplingScratch {
+  std::vector<uint64_t> selected_epoch;  ///< Account id -> in selected set.
+  std::vector<uint64_t> local_epoch;     ///< Account id -> has local index.
+  std::vector<int> local_index;
+  std::vector<uint64_t> peer_epoch;  ///< Account id -> seen by CollectPeers.
+  std::vector<int> peer_slot;
+  std::vector<uint64_t> tx_epoch;  ///< Tx index -> already induced.
+  uint64_t epoch = 0;
+
+  /// Grows the marker arrays to the ledger's id spaces. Stale entries keep
+  /// old epochs (never equal to a fresh one), so no clearing is needed.
+  void Prepare(size_t num_accounts, size_t num_txs) {
+    if (selected_epoch.size() < num_accounts) {
+      selected_epoch.resize(num_accounts, 0);
+      local_epoch.resize(num_accounts, 0);
+      local_index.resize(num_accounts, 0);
+      peer_epoch.resize(num_accounts, 0);
+      peer_slot.resize(num_accounts, 0);
+    }
+    if (tx_epoch.size() < num_txs) tx_epoch.resize(num_txs, 0);
+  }
+};
+
+SamplingScratch* ThreadScratch() {
+  thread_local SamplingScratch scratch;
+  return &scratch;
+}
+
+/// Counterparty aggregates for one account in first-touch order (the order
+/// does not matter downstream: the ranking comparator is a strict total
+/// order with the account id as final tiebreak).
+std::vector<std::pair<eth::AccountId, PeerStats>> CollectPeers(
+    const eth::Ledger& ledger, eth::AccountId node,
+    SamplingScratch* scratch) {
+  const uint64_t epoch = ++scratch->epoch;
+  std::vector<std::pair<eth::AccountId, PeerStats>> peers;
   for (int idx : ledger.TransactionsOf(node)) {
     const eth::Transaction& tx = ledger.transactions()[idx];
     const eth::AccountId peer = tx.from == node ? tx.to : tx.from;
     if (peer == node) continue;
-    PeerStats& st = peers[peer];
+    if (scratch->peer_epoch[peer] != epoch) {
+      scratch->peer_epoch[peer] = epoch;
+      scratch->peer_slot[peer] = static_cast<int>(peers.size());
+      peers.push_back({peer, PeerStats{}});
+    }
+    PeerStats& st = peers[scratch->peer_slot[peer]].second;
     st.total_value += tx.value;
     ++st.count;
   }
@@ -46,18 +94,20 @@ Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
     return Status::NotFound("center account has no transactions");
   }
 
+  SamplingScratch* scratch = ThreadScratch();
+  scratch->Prepare(ledger.accounts().size(), ledger.transactions().size());
+
   std::vector<eth::AccountId> nodes = {center};
-  std::unordered_set<eth::AccountId> selected = {center};
+  const uint64_t selected = ++scratch->epoch;
+  scratch->selected_epoch[center] = selected;
   std::vector<eth::AccountId> frontier = {center};
 
   for (int hop = 0; hop < config.hops; ++hop) {
     std::vector<eth::AccountId> next_frontier;
     for (eth::AccountId v : frontier) {
-      auto peers = CollectPeers(ledger, v);
+      auto ranked = CollectPeers(ledger, v, scratch);
       // Rank peers by average transaction value, ties by total value
       // (Section III-B1).
-      std::vector<std::pair<eth::AccountId, PeerStats>> ranked(peers.begin(),
-                                                               peers.end());
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) {
                   if (a.second.avg() != b.second.avg()) {
@@ -72,9 +122,9 @@ Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
       for (const auto& [peer, stats] : ranked) {
         if (taken >= config.top_k) break;
         ++taken;  // Existing members count toward the per-node budget.
-        if (selected.count(peer)) continue;
+        if (scratch->selected_epoch[peer] == selected) continue;
         if (static_cast<int>(nodes.size()) >= config.max_nodes) break;
-        selected.insert(peer);
+        scratch->selected_epoch[peer] = selected;
         nodes.push_back(peer);
         next_frontier.push_back(peer);
       }
@@ -85,10 +135,10 @@ Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
   }
 
   // Local index map.
-  std::unordered_map<eth::AccountId, int> local;
-  local.reserve(nodes.size());
+  const uint64_t local = ++scratch->epoch;
   for (size_t i = 0; i < nodes.size(); ++i) {
-    local[nodes[i]] = static_cast<int>(i);
+    scratch->local_epoch[nodes[i]] = local;
+    scratch->local_index[nodes[i]] = static_cast<int>(i);
   }
 
   // Induced transactions: every ledger tx with both endpoints selected.
@@ -101,17 +151,19 @@ Result<eth::TxSubgraph> SampleSubgraph(const eth::Ledger& ledger,
     sub.is_contract[i] =
         ledger.accounts()[nodes[i]].kind == eth::AccountKind::kContract;
   }
-  std::unordered_set<int> seen_tx;
+  const uint64_t seen_tx = ++scratch->epoch;
   for (eth::AccountId v : nodes) {
     for (int idx : ledger.TransactionsOf(v)) {
-      if (!seen_tx.insert(idx).second) continue;
+      if (scratch->tx_epoch[idx] == seen_tx) continue;
+      scratch->tx_epoch[idx] = seen_tx;
       const eth::Transaction& tx = ledger.transactions()[idx];
-      auto from_it = local.find(tx.from);
-      auto to_it = local.find(tx.to);
-      if (from_it == local.end() || to_it == local.end()) continue;
+      if (scratch->local_epoch[tx.from] != local ||
+          scratch->local_epoch[tx.to] != local) {
+        continue;
+      }
       eth::LocalTransaction lt;
-      lt.src = from_it->second;
-      lt.dst = to_it->second;
+      lt.src = scratch->local_index[tx.from];
+      lt.dst = scratch->local_index[tx.to];
       lt.value = tx.value;
       lt.timestamp = tx.timestamp;
       lt.gas_price = tx.gas_price;

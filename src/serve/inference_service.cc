@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/inference.h"
 
 namespace dbg4eth {
 namespace serve {
@@ -38,6 +39,45 @@ obs::Gauge* QueueDepthGauge() {
   return gauge;
 }
 
+obs::Counter* FastpathBatchesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global()->CounterAt(
+      "serve_fastpath_batches_total",
+      "Cold-request groups scored through one packed block-diagonal "
+      "forward");
+  return counter;
+}
+
+obs::Histogram* FastpathBatchSizeHistogram() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global()->HistogramAt(
+      "serve_fastpath_batch_size",
+      "Distinct cold requests per packed forward");
+  return hist;
+}
+
+obs::Histogram* FastpathForwardHistogram() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global()->HistogramAt(
+      "serve_fastpath_forward_us",
+      "Wall time of one packed block-diagonal forward, microseconds");
+  return hist;
+}
+
+/// Activation-buffer bytes owned by the reporting worker's thread-local
+/// inference arena (steady state: the high-water footprint of one batch).
+obs::Gauge* FastpathArenaGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global()->GaugeAt(
+      "serve_fastpath_arena_bytes",
+      "Buffer bytes pooled in the worker's inference arena");
+  return gauge;
+}
+
+/// Oversubscribing CPU-bound forward passes only adds context switching;
+/// cap the worker count at the hardware concurrency (0 = use all of it).
+int ClampWorkers(int requested) {
+  const int hardware = ResolveNumThreads(0);
+  if (requested <= 0) return hardware;
+  return std::min(requested, hardware);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<InferenceService>> InferenceService::Create(
@@ -59,9 +99,11 @@ InferenceService::InferenceService(const InferenceServiceConfig& config,
       ledger_(ledger),
       cache_(config.cache),
       queue_(config.queue),
-      pool_(config.num_workers, config.pool_queue_capacity) {
+      workers_(ClampWorkers(config.num_workers)),
+      pool_(workers_, config.pool_queue_capacity) {
   DBG4ETH_CHECK(model_ != nullptr);
   DBG4ETH_CHECK(ledger_ != nullptr);
+  stats_.SetWorkers(workers_);
   ledger_height_.store(ledger_->transactions().size());
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
@@ -202,10 +244,14 @@ void InferenceService::DispatchLoop() {
 }
 
 void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
-  // Dedupe identical (address, height) requests inside the batch: the
-  // subgraph is materialized and scored once, every requester gets the
-  // result. This is where micro-batching pays beyond amortized dispatch.
+  // Pass 1 — classify without materializing anything. Requests that can
+  // resolve immediately (expired while queued, cache filled by a
+  // concurrent batch) do so here; the rest are deduplicated into cold
+  // groups keyed by (address, height), one forward pass per group no
+  // matter how many requesters share it.
   std::unordered_map<uint64_t, double> scored;  // packed key -> probability
+  std::vector<uint64_t> cold_order;
+  std::unordered_map<uint64_t, std::vector<ScoreRequest*>> cold;
   for (ScoreRequest& request : *batch) {
     QueueWaitHistogram()->Record(ElapsedUs(request.enqueue_time));
     const ResultCache::Key key{request.address, request.ledger_height};
@@ -228,10 +274,14 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
       continue;
     }
 
+    if (auto group = cold.find(packed); group != cold.end()) {
+      group->second.push_back(&request);
+      continue;
+    }
+
     ScoreResult result;
     result.address = request.address;
     result.ledger_height = request.ledger_height;
-
     if (auto it = scored.find(packed); it != scored.end()) {
       result.probability = it->second;
       result.cache_hit = true;  // Shared with an in-batch duplicate.
@@ -242,29 +292,132 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
       result.cache_hit = true;
       scored.emplace(packed, *cached);
     } else {
-      Result<double> proba = ScoreColdWithRetry(request, &result.retries);
-      if (!proba.ok()) {
-        const Status& st = proba.status();
-        if (st.code() == StatusCode::kDeadlineExceeded) {
-          result.status = st;
-          result.latency_us = ElapsedUs(request.enqueue_time);
-          stats_.RecordDeadlineExceeded();
-          request.promise->set_value(std::move(result));
-          continue;
-        }
-        // Degraded mode: the cold path is down (transiently) and the
-        // retry budget is spent — a stale score beats no score.
-        if (st.IsTransient() && TryServeStale(request)) continue;
-        ResolveError(request, st);
-        continue;
-      }
-      result.probability = proba.ValueOrDie();
-      cache_.Put(key, result.probability);
-      scored.emplace(packed, result.probability);
+      cold_order.push_back(packed);
+      cold.emplace(packed, std::vector<ScoreRequest*>{&request});
+      continue;
     }
     result.latency_us = ElapsedUs(request.enqueue_time);
     stats_.RecordRequest(result.latency_us, result.cache_hit);
     request.promise->set_value(std::move(result));
+  }
+  if (cold_order.empty()) return;
+
+  // Pass 2 — score the cold groups. A single group (or a disabled fast
+  // path) takes the sequential route: one score_cold span covering
+  // prepare + forward, exactly as before batching.
+  if (cold_order.size() == 1 || !config_.batch_forward) {
+    for (uint64_t packed : cold_order) {
+      const std::vector<ScoreRequest*>& group = cold[packed];
+      int retries = 0;
+      Result<double> proba = ScoreColdWithRetry(*group.front(), &retries);
+      if (!proba.ok()) {
+        ResolveColdFailure(group, proba.status());
+        continue;
+      }
+      FinishColdGroup(group, proba.ValueOrDie(), retries);
+    }
+    return;
+  }
+
+  // Fast path: prepare each group's instance (same per-request score_cold
+  // span, fail point, and retry budget as the sequential route), then
+  // score every prepared instance in one fused block-diagonal forward per
+  // branch. A group whose preparation fails drops out; the others still
+  // share the packed pass.
+  std::vector<uint64_t> ready;
+  std::vector<eth::GraphInstance> instances;
+  std::vector<int> retries;
+  ready.reserve(cold_order.size());
+  instances.reserve(cold_order.size());
+  retries.reserve(cold_order.size());
+  for (uint64_t packed : cold_order) {
+    const std::vector<ScoreRequest*>& group = cold[packed];
+    obs::TraceSpan span("score_cold");
+    int group_retries = 0;
+    Result<eth::GraphInstance> instance =
+        PrepareColdWithRetry(*group.front(), &group_retries);
+    span.End();
+    if (!instance.ok()) {
+      ResolveColdFailure(group, instance.status());
+      continue;
+    }
+    ready.push_back(packed);
+    instances.push_back(std::move(instance).ValueOrDie());
+    retries.push_back(group_retries);
+  }
+  if (ready.empty()) return;
+
+  std::vector<const eth::GraphInstance*> instance_ptrs;
+  instance_ptrs.reserve(instances.size());
+  for (const eth::GraphInstance& instance : instances) {
+    instance_ptrs.push_back(&instance);
+  }
+  std::vector<double> probs;
+  {
+    obs::TraceSpan packed_span("packed_forward");
+    obs::ScopedTimer forward_timer(FastpathForwardHistogram());
+    probs = model_->PredictProbaBatch(instance_ptrs);
+  }
+  FastpathBatchesCounter()->Inc();
+  FastpathBatchSizeHistogram()->Record(static_cast<double>(ready.size()));
+  FastpathArenaGauge()->Set(static_cast<double>(
+      ag::InferenceArena::ThreadLocal()->owned_bytes()));
+  for (size_t i = 0; i < ready.size(); ++i) {
+    FinishColdGroup(cold[ready[i]], probs[i], retries[i]);
+  }
+}
+
+void InferenceService::FinishColdGroup(
+    const std::vector<ScoreRequest*>& group, double probability,
+    int retries) {
+  const ScoreRequest* rep = group.front();
+  cache_.Put({rep->address, rep->ledger_height}, probability);
+  bool first = true;
+  for (ScoreRequest* request : group) {
+    // Duplicates may have expired while the group's representative was
+    // being scored — same check the sequential loop applied when it
+    // reached them.
+    if (!first && request->expired(std::chrono::steady_clock::now())) {
+      ScoreResult result;
+      result.address = request->address;
+      result.ledger_height = request->ledger_height;
+      result.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      result.latency_us = ElapsedUs(request->enqueue_time);
+      stats_.RecordDeadlineExceeded();
+      request->promise->set_value(std::move(result));
+      continue;
+    }
+    ScoreResult result;
+    result.address = request->address;
+    result.ledger_height = request->ledger_height;
+    result.probability = probability;
+    result.cache_hit = !first;  // Duplicates share the group's one pass.
+    result.retries = first ? retries : 0;
+    result.latency_us = ElapsedUs(request->enqueue_time);
+    stats_.RecordRequest(result.latency_us, result.cache_hit);
+    request->promise->set_value(std::move(result));
+    first = false;
+  }
+}
+
+void InferenceService::ResolveColdFailure(
+    const std::vector<ScoreRequest*>& group, const Status& status) {
+  for (ScoreRequest* request : group) {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ScoreResult result;
+      result.address = request->address;
+      result.ledger_height = request->ledger_height;
+      result.status = status;
+      result.latency_us = ElapsedUs(request->enqueue_time);
+      stats_.RecordDeadlineExceeded();
+      request->promise->set_value(std::move(result));
+      continue;
+    }
+    // Degraded mode: the cold path is down (transiently) and the retry
+    // budget is spent — a stale score beats no score.
+    if (status.IsTransient() && TryServeStale(*request)) continue;
+    ResolveError(*request, status);
   }
 }
 
@@ -333,6 +486,12 @@ Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
   // emitted inside PredictProba (gsg_forward, calibrate, ldg_forward,
   // gbdt). See DESIGN.md "Observability".
   obs::TraceSpan span("score_cold");
+  DBG4ETH_ASSIGN_OR_RETURN(eth::GraphInstance instance, PrepareCold(address));
+  return model_->PredictProba(instance);
+}
+
+Result<eth::GraphInstance> InferenceService::PrepareCold(
+    eth::AccountId address) const {
   DBG4ETH_FAIL_POINT("serve.score_cold");
   DBG4ETH_ASSIGN_OR_RETURN(
       eth::GraphInstance instance,
@@ -342,7 +501,37 @@ Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
     obs::TraceSpan normalize_span("normalize");
     model_->Normalize(&instance);
   }
-  return model_->PredictProba(instance);
+  return instance;
+}
+
+Result<eth::GraphInstance> InferenceService::PrepareColdWithRetry(
+    const ScoreRequest& request, int* retries) {
+  // Same loop as ScoreColdWithRetry, retrying preparation (the fail point
+  // and materialization live there) instead of the full score.
+  *retries = 0;
+  for (;;) {
+    if (request.expired(std::chrono::steady_clock::now())) {
+      return Status::DeadlineExceeded("deadline expired before scoring");
+    }
+    Result<eth::GraphInstance> instance = PrepareCold(request.address);
+    if (instance.ok() || !instance.status().IsTransient() ||
+        *retries >= config_.max_cold_retries) {
+      return instance;
+    }
+    ++*retries;
+    stats_.RecordRetry();
+    int64_t backoff_us = config_.retry_backoff_us * *retries;
+    if (request.has_deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              request.deadline - std::chrono::steady_clock::now())
+              .count();
+      backoff_us = std::min(backoff_us, std::max<int64_t>(0, remaining));
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
 }
 
 }  // namespace serve

@@ -25,7 +25,16 @@ namespace serve {
 
 /// \brief Knobs of the serving layer.
 struct InferenceServiceConfig {
+  /// Worker threads; clamped at construction to the hardware concurrency
+  /// (oversubscribed CPU-bound forwards only add context-switch overhead —
+  /// see DESIGN.md "Inference fast path"). 0 = one per hardware thread.
+  /// The resolved count is reported in ServerStats::Snapshot::workers.
   int num_workers = 4;
+  /// When a dispatched batch holds two or more distinct cold requests,
+  /// score them through one fused block-diagonal forward per branch
+  /// (bit-identical to scoring them one by one) instead of sequential
+  /// per-request passes. Disable to force the sequential cold path.
+  bool batch_forward = true;
   /// Pending-batch bound of the worker pool (backpressure toward the
   /// dispatcher, which in turn backpressures producers via the queue).
   size_t pool_queue_capacity = 256;
@@ -126,6 +135,9 @@ class InferenceService {
   }
   const ResultCache& cache() const { return cache_; }
   const InferenceServiceConfig& config() const { return config_; }
+  /// Worker threads actually running (config.num_workers clamped to the
+  /// hardware concurrency).
+  int num_workers() const { return workers_; }
 
  private:
   void DispatchLoop();
@@ -136,6 +148,24 @@ class InferenceService {
   /// `retries` with the attempts beyond the first.
   Result<double> ScoreColdWithRetry(const ScoreRequest& request,
                                     int* retries);
+  /// Cold-path preparation only (fail point, materialize, normalize) —
+  /// the forward pass is deferred so several prepared instances can share
+  /// one packed forward.
+  Result<eth::GraphInstance> PrepareCold(eth::AccountId address) const;
+  /// PrepareCold with the same transient-failure retry loop as
+  /// ScoreColdWithRetry.
+  Result<eth::GraphInstance> PrepareColdWithRetry(const ScoreRequest& request,
+                                                  int* retries);
+  /// Resolves every request of one deduplicated cold group with the
+  /// group's probability; `retries` belongs to the representative (first)
+  /// request, duplicates count as in-batch cache hits.
+  void FinishColdGroup(const std::vector<ScoreRequest*>& group,
+                       double probability, int retries);
+  /// Resolves every request of a cold group whose scoring failed, with
+  /// the per-status handling of the sequential path (deadline / stale
+  /// fallback / error).
+  void ResolveColdFailure(const std::vector<ScoreRequest*>& group,
+                          const Status& status);
   /// Resolves `request` from the newest stale cache entry below its
   /// height, if degraded mode allows; true when it was resolved.
   bool TryServeStale(const ScoreRequest& request);
@@ -149,6 +179,9 @@ class InferenceService {
   ResultCache cache_;
   ServerStats stats_;
   RequestQueue queue_;
+  /// Resolved worker count; declared before pool_ so the clamp happens
+  /// before the pool spawns its threads.
+  int workers_;
   ThreadPool pool_;
   std::thread dispatcher_;
   std::mutex shutdown_mu_;  ///< Serializes Shutdown callers.

@@ -40,20 +40,32 @@ ResultCache::Shard& ResultCache::ShardFor(const Key& key) {
 
 std::optional<double> ResultCache::Get(const Key& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    misses_.fetch_add(1);
-    static obs::Counter* miss_mirror = CacheCounter("miss");
-    miss_mirror->Inc();
-    return std::nullopt;
+  bool hit = false;
+  double probability = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Move to the front (most recently used) and read the value while
+      // still holding the lock; everything else happens outside it.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      probability = it->second->probability;
+      hit = true;
+    }
   }
-  // Move to the front (most recently used).
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1);
+  // Counter updates run unlocked: the mirror lookup's magic-static guard
+  // and the atomic increments otherwise serialize concurrent lookups on
+  // the shard mutex and show up as hit-path p99 outliers.
   static obs::Counter* hit_mirror = CacheCounter("hit");
-  hit_mirror->Inc();
-  return it->second->probability;
+  static obs::Counter* miss_mirror = CacheCounter("miss");
+  if (hit) {
+    hits_.fetch_add(1);
+    hit_mirror->Inc();
+    return probability;
+  }
+  misses_.fetch_add(1);
+  miss_mirror->Inc();
+  return std::nullopt;
 }
 
 void ResultCache::Put(const Key& key, double probability) {

@@ -110,6 +110,10 @@ void ServerStats::RecordStaleServed(double latency_us) {
   mirror_latency_stale_->Record(latency_us);
 }
 
+void ServerStats::SetWorkers(int workers) {
+  workers_.store(workers, std::memory_order_relaxed);
+}
+
 void ServerStats::RecordBatch(size_t batch_size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
@@ -149,6 +153,7 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
       requests == 0
           ? 0.0
           : static_cast<double>(cache_hits) / static_cast<double>(requests);
+  snapshot.workers = workers_.load(std::memory_order_relaxed);
   snapshot.cold = Summarize(cold_latency_);
   snapshot.hit = Summarize(hit_latency_);
   snapshot.stale = Summarize(stale_latency_);
@@ -160,12 +165,13 @@ std::string ServerStats::Format(const Snapshot& s) {
   std::string out;
   std::snprintf(buf, sizeof(buf),
                 "requests=%llu hits=%llu (%.1f%%) errors=%llu "
-                "batches=%llu avg_batch=%.2f\n",
+                "batches=%llu avg_batch=%.2f workers=%d\n",
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.cache_hits),
                 100.0 * s.cache_hit_rate,
                 static_cast<unsigned long long>(s.errors),
-                static_cast<unsigned long long>(s.batches), s.avg_batch_size);
+                static_cast<unsigned long long>(s.batches), s.avg_batch_size,
+                s.workers);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "cold latency (us): n=%llu p50=%.1f p95=%.1f p99=%.1f "

@@ -50,6 +50,9 @@ class ServerStats {
     uint64_t batches = 0;
     double avg_batch_size = 0.0;
     double cache_hit_rate = 0.0;
+    /// Worker threads actually running, after the service clamped the
+    /// configured count to the hardware concurrency.
+    int workers = 0;
     LatencySummary cold;   ///< Full path: materialize + forward pass.
     LatencySummary hit;    ///< Served from the result cache.
     LatencySummary stale;  ///< Degraded mode: stale entry at an old height.
@@ -77,6 +80,8 @@ class ServerStats {
   /// Records one request served stale in degraded mode (counts as a
   /// resolved request; its latency goes into the stale histogram).
   void RecordStaleServed(double latency_us);
+  /// Records the resolved worker-thread count (set once at service start).
+  void SetWorkers(int workers);
 
   Snapshot TakeSnapshot() const;
 
@@ -93,6 +98,7 @@ class ServerStats {
   std::atomic<uint64_t> stale_served_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<int> workers_{0};
   obs::Histogram cold_latency_;
   obs::Histogram hit_latency_;
   obs::Histogram stale_latency_;

@@ -17,7 +17,11 @@ Matrix Matrix::Identity(int n) {
 
 Matrix Matrix::FromFlat(int rows, int cols, std::vector<double> values) {
   DBG4ETH_CHECK_EQ(static_cast<size_t>(rows) * cols, values.size());
-  Matrix m(rows, cols);
+  // Adopts the vector directly (no zero-filled intermediate): the inference
+  // arena routes recycled activation buffers through here.
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
   m.data_ = std::move(values);
   return m;
 }

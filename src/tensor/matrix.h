@@ -80,6 +80,15 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Moves out the backing storage, leaving an empty 0 x 0 matrix. The
+  /// inference arena uses this to recycle activation buffers across
+  /// forward passes (see tensor/inference.h).
+  std::vector<double> TakeData() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
+
   /// Element-wise in-place operations.
   Matrix& AddInPlace(const Matrix& other);
   Matrix& SubInPlace(const Matrix& other);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "tensor/inference.h"
 
 namespace dbg4eth {
 namespace ag {
@@ -19,6 +21,11 @@ using internal::TensorNode;
 Tensor MakeNode(Matrix value, std::vector<Tensor> parents,
                 std::function<void(TensorNode*)> backward_fn,
                 const char* op_name) {
+  if (InferenceArena* arena = internal::ActiveInferenceArena()) {
+    // Safety net for ops without an explicit fast-path exit (losses,
+    // future additions): under an InferenceScope no tape is ever built.
+    return Tensor::FromNode(arena->MakeValueNode(std::move(value)));
+  }
   auto node = std::make_shared<TensorNode>();
   node->value = std::move(value);
   node->op_name = op_name;
@@ -48,10 +55,69 @@ bool ParentRequires(TensorNode* node, int i) {
   return node->parents[i]->requires_grad;
 }
 
+/// True while an InferenceScope is active on this thread: ops compute the
+/// value into arena storage and return early via ValueNode, skipping
+/// parent bookkeeping and backward-closure construction entirely.
+bool TapeFree() { return internal::ActiveInferenceArena() != nullptr; }
+
+/// Output buffers for the op forwards. On the tape path these match the
+/// ops' historical allocations exactly; under an InferenceScope they draw
+/// recycled activation storage from the thread's arena. Zeros is for
+/// accumulate-style and masked-write kernels, Uninit for kernels that
+/// overwrite every entry, CopyOf for copy-then-modify kernels.
+Matrix OutZeros(int rows, int cols) {
+  if (InferenceArena* arena = internal::ActiveInferenceArena()) {
+    return arena->Zeros(rows, cols);
+  }
+  return Matrix(rows, cols);
+}
+
+Matrix OutUninit(int rows, int cols) {
+  if (InferenceArena* arena = internal::ActiveInferenceArena()) {
+    return arena->Uninit(rows, cols);
+  }
+  return Matrix(rows, cols);
+}
+
+Matrix OutCopy(const Matrix& src) {
+  if (InferenceArena* arena = internal::ActiveInferenceArena()) {
+    return arena->CopyOf(src);
+  }
+  return src;
+}
+
+/// Finishes an op on the fast path: the computed value becomes a pooled
+/// value-only node (no parents, no backward).
+Tensor ValueNode(Matrix out) {
+  return Tensor::FromNode(
+      internal::ActiveInferenceArena()->MakeValueNode(std::move(out)));
+}
+
+/// Row-wise softmax of `logits` written into the pre-shaped *out (every
+/// entry overwritten). Shared by SoftmaxRowsValue and the SoftmaxRows op
+/// so tape and fast-path forwards run the identical loop.
+void SoftmaxRowsInto(const Matrix& logits, Matrix* out) {
+  for (int r = 0; r < logits.rows(); ++r) {
+    double max_v = logits.At(r, 0);
+    for (int c = 1; c < logits.cols(); ++c) {
+      max_v = std::max(max_v, logits.At(r, c));
+    }
+    double denom = 0.0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(logits.At(r, c) - max_v);
+    }
+    for (int c = 0; c < logits.cols(); ++c) {
+      out->At(r, c) = std::exp(logits.At(r, c) - max_v) / denom;
+    }
+  }
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  Matrix out = dbg4eth::MatMul(a.value(), b.value());
+  Matrix out = OutZeros(a.rows(), b.cols());
+  MatMulAccumulate(a.value(), b.value(), &out);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a, b},
       [](TensorNode* n) {
@@ -70,7 +136,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor SpMM(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
   DBG4ETH_CHECK(a != nullptr);
-  Matrix out = dbg4eth::SpMM(*a, x.value());
+  Matrix out = OutZeros(a->rows(), x.cols());
+  SpMMAccumulate(*a, x.value(), &out);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {x},
       [a](TensorNode* n) {
@@ -83,7 +151,9 @@ Tensor SpMM(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
 
 Tensor SpMMTransA(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
   DBG4ETH_CHECK(a != nullptr);
-  Matrix out = dbg4eth::SpMMTransA(*a, x.value());
+  Matrix out = OutZeros(a->cols(), x.cols());
+  SpMMTransAAccumulate(*a, x.value(), &out);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {x},
       [a](TensorNode* n) {
@@ -97,7 +167,9 @@ Tensor SpMMTransA(std::shared_ptr<const SparseMatrix> a, const Tensor& x) {
 Tensor MaskedSpMatMul(std::shared_ptr<const SparseMatrix> support,
                       const Tensor& alpha, const Tensor& b) {
   DBG4ETH_CHECK(support != nullptr);
-  Matrix out = dbg4eth::MaskedMatMul(*support, alpha.value(), b.value());
+  Matrix out = OutZeros(alpha.rows(), b.cols());
+  MaskedMatMulAccumulate(*support, alpha.value(), b.value(), &out);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {alpha, b},
       [support](TensorNode* n) {
@@ -113,9 +185,87 @@ Tensor MaskedSpMatMul(std::shared_ptr<const SparseMatrix> support,
       "masked_spmatmul");
 }
 
-Tensor Add(const Tensor& a, const Tensor& b) {
+Tensor MaskedAttentionAlpha(std::shared_ptr<const SparseMatrix> support,
+                            const Tensor& u, const Tensor& v,
+                            double negative_slope) {
+  DBG4ETH_CHECK(support != nullptr);
+  DBG4ETH_CHECK_EQ(u.cols(), 1);
+  DBG4ETH_CHECK_EQ(v.cols(), 1);
+  DBG4ETH_CHECK_EQ(support->rows(), u.rows());
+  DBG4ETH_CHECK_EQ(support->cols(), v.rows());
+  const std::vector<int>& offsets = support->row_offsets();
+  const std::vector<int>& col_indices = support->col_indices();
+  const Matrix& uv = u.value();
+  const Matrix& vv = v.value();
+  const double slope = negative_slope;
+  // LeakyRelu(u_i + v_j) recomputed per use: cheaper than storing the raw
+  // scores, and each evaluation yields the identical double, so the three
+  // passes below reproduce MaskedSoftmaxRows(LeakyRelu(PairwiseSum(u, v)))
+  // bit for bit (ascending CSR columns == ascending masked columns).
+  auto raw_score = [&uv, &vv, slope](int r, int c) {
+    const double x = uv.At(r, 0) + vv.At(c, 0);
+    return x > 0 ? x : slope * x;
+  };
+  Matrix out = OutZeros(support->rows(), support->cols());
+  for (int r = 0; r < support->rows(); ++r) {
+    const int begin = offsets[r];
+    const int end = offsets[r + 1];
+    if (begin == end) continue;  // all-zero row
+    double max_v = -1e300;
+    for (int e = begin; e < end; ++e) {
+      max_v = std::max(max_v, raw_score(r, col_indices[e]));
+    }
+    double denom = 0.0;
+    for (int e = begin; e < end; ++e) {
+      denom += std::exp(raw_score(r, col_indices[e]) - max_v);
+    }
+    double* orow = out.RowPtr(r);
+    for (int e = begin; e < end; ++e) {
+      orow[col_indices[e]] = std::exp(raw_score(r, col_indices[e]) - max_v) /
+                             denom;
+    }
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::Add(a.value(), b.value()), {a, b},
+      std::move(out), {u, v},
+      [support, slope](TensorNode* n) {
+        const bool need_u = ParentRequires(n, 0);
+        const bool need_v = ParentRequires(n, 1);
+        if (!need_u && !need_v) return;
+        const Matrix& g = n->grad;
+        const Matrix& alpha = n->value;
+        const Matrix& uv = ParentValue(n, 0);
+        const Matrix& vv = ParentValue(n, 1);
+        Matrix* gu = need_u ? &ParentGrad(n, 0) : nullptr;
+        Matrix* gv = need_v ? &ParentGrad(n, 1) : nullptr;
+        const std::vector<int>& offsets = support->row_offsets();
+        const std::vector<int>& col_indices = support->col_indices();
+        for (int r = 0; r < alpha.rows(); ++r) {
+          // Softmax Jacobian restricted to the support, then the LeakyRelu
+          // derivative routes d(raw score) into u_r and v_c.
+          double dot = 0.0;
+          for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+            dot += g.At(r, col_indices[e]) * alpha.At(r, col_indices[e]);
+          }
+          for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
+            const int c = col_indices[e];
+            const double ds = alpha.At(r, c) * (g.At(r, c) - dot);
+            const double x = uv.At(r, 0) + vv.At(c, 0);
+            const double draw = ds * (x > 0 ? 1.0 : slope);
+            if (gu != nullptr) gu->At(r, 0) += draw;
+            if (gv != nullptr) gv->At(c, 0) += draw;
+          }
+        }
+      },
+      "masked_attention_alpha");
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Matrix out = OutCopy(a.value());
+  out.AddInPlace(b.value());
+  if (TapeFree()) return ValueNode(std::move(out));
+  return MakeNode(
+      std::move(out), {a, b},
       [](TensorNode* n) {
         if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
         if (ParentRequires(n, 1)) ParentGrad(n, 1).AddInPlace(n->grad);
@@ -124,8 +274,11 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  Matrix out = OutCopy(a.value());
+  out.SubInPlace(b.value());
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::Sub(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [](TensorNode* n) {
         if (ParentRequires(n, 0)) ParentGrad(n, 0).AddInPlace(n->grad);
         if (ParentRequires(n, 1)) ParentGrad(n, 1).SubInPlace(n->grad);
@@ -134,8 +287,11 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  Matrix out = OutCopy(a.value());
+  out.MulInPlace(b.value());
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::Mul(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [](TensorNode* n) {
         if (ParentRequires(n, 0)) {
           ParentGrad(n, 0).AddInPlace(dbg4eth::Mul(n->grad, ParentValue(n, 1)));
@@ -148,8 +304,11 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor ScalarMul(const Tensor& a, double s) {
+  Matrix out = OutCopy(a.value());
+  out.ScaleInPlace(s);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::Scale(a.value(), s), {a},
+      std::move(out), {a},
       [s](TensorNode* n) {
         if (ParentRequires(n, 0)) {
           ParentGrad(n, 0).AddInPlace(dbg4eth::Scale(n->grad, s));
@@ -159,10 +318,11 @@ Tensor ScalarMul(const Tensor& a, double s) {
 }
 
 Tensor ScalarAdd(const Tensor& a, double s) {
-  Matrix out = a.value();
+  Matrix out = OutCopy(a.value());
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < out.cols(); ++c) out.At(r, c) += s;
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [](TensorNode* n) {
@@ -174,12 +334,13 @@ Tensor ScalarAdd(const Tensor& a, double s) {
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   DBG4ETH_CHECK_EQ(bias.rows(), 1);
   DBG4ETH_CHECK_EQ(bias.cols(), a.cols());
-  Matrix out = a.value();
+  Matrix out = OutCopy(a.value());
   for (int r = 0; r < out.rows(); ++r) {
     const double* b = bias.value().RowPtr(0);
     double* row = out.RowPtr(r);
     for (int c = 0; c < out.cols(); ++c) row[c] += b[c];
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a, bias},
       [](TensorNode* n) {
@@ -197,10 +358,11 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 
 Tensor BroadcastRow(const Tensor& row, int n_rows) {
   DBG4ETH_CHECK_EQ(row.rows(), 1);
-  Matrix out(n_rows, row.cols());
+  Matrix out = OutUninit(n_rows, row.cols());
   for (int r = 0; r < n_rows; ++r) {
     for (int c = 0; c < row.cols(); ++c) out.At(r, c) = row.value().At(0, c);
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {row},
       [](TensorNode* n) {
@@ -221,11 +383,12 @@ Tensor PairwiseSum(const Tensor& u, const Tensor& v) {
   DBG4ETH_CHECK_EQ(v.cols(), 1);
   const int n = u.rows();
   const int m = v.rows();
-  Matrix out(n, m);
+  Matrix out = OutUninit(n, m);
   for (int i = 0; i < n; ++i) {
     const double ui = u.value().At(i, 0);
     for (int j = 0; j < m; ++j) out.At(i, j) = ui + v.value().At(j, 0);
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {u, v},
       [](TensorNode* n_) {
@@ -251,9 +414,20 @@ Tensor PairwiseSum(const Tensor& u, const Tensor& v) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
-  const int ac = a.cols();
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  DBG4ETH_CHECK_EQ(av.rows(), bv.rows());
+  const int ac = av.cols();
+  Matrix out = OutUninit(av.rows(), ac + bv.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    double* orow = out.RowPtr(r);
+    std::memcpy(orow, av.RowPtr(r), static_cast<size_t>(ac) * sizeof(double));
+    std::memcpy(orow + ac, bv.RowPtr(r),
+                static_cast<size_t>(bv.cols()) * sizeof(double));
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::ConcatCols(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [ac](TensorNode* n) {
         const Matrix& g = n->grad;
         if (ParentRequires(n, 0)) {
@@ -273,9 +447,20 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 }
 
 Tensor ConcatRows(const Tensor& a, const Tensor& b) {
-  const int ar = a.rows();
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  DBG4ETH_CHECK_EQ(av.cols(), bv.cols());
+  const int ar = av.rows();
+  Matrix out = OutUninit(ar + bv.rows(), av.cols());
+  if (!av.empty()) {
+    std::memcpy(out.RowPtr(0), av.RowPtr(0), av.size() * sizeof(double));
+  }
+  if (!bv.empty()) {
+    std::memcpy(out.RowPtr(ar), bv.RowPtr(0), bv.size() * sizeof(double));
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      dbg4eth::ConcatRows(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [ar](TensorNode* n) {
         const Matrix& g = n->grad;
         if (ParentRequires(n, 0)) {
@@ -302,16 +487,21 @@ Tensor ConcatRowsList(const std::vector<Tensor>& parts) {
     DBG4ETH_CHECK_EQ(p.cols(), cols);
     total_rows += p.rows();
   }
-  Matrix out(total_rows, cols);
-  std::vector<int> offsets(parts.size());
+  Matrix out = OutUninit(total_rows, cols);
   int off = 0;
-  for (size_t i = 0; i < parts.size(); ++i) {
-    offsets[i] = off;
-    const Matrix& v = parts[i].value();
-    for (int r = 0; r < v.rows(); ++r) {
-      for (int c = 0; c < cols; ++c) out.At(off + r, c) = v.At(r, c);
+  for (const Tensor& p : parts) {
+    const Matrix& v = p.value();
+    if (!v.empty()) {
+      std::memcpy(out.RowPtr(off), v.RowPtr(0), v.size() * sizeof(double));
     }
     off += v.rows();
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
+  std::vector<int> offsets(parts.size());
+  int base = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    offsets[i] = base;
+    base += parts[i].rows();
   }
   return MakeNode(
       std::move(out), parts,
@@ -331,8 +521,15 @@ Tensor ConcatRowsList(const std::vector<Tensor>& parts) {
 }
 
 Tensor SliceRows(const Tensor& a, int begin, int end) {
+  const Matrix& av = a.value();
+  DBG4ETH_CHECK(begin >= 0 && begin <= end && end <= av.rows());
+  Matrix out = OutUninit(end - begin, av.cols());
+  if (!out.empty()) {
+    std::memcpy(out.RowPtr(0), av.RowPtr(begin), out.size() * sizeof(double));
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      a.value().SliceRows(begin, end), {a},
+      std::move(out), {a},
       [begin](TensorNode* n) {
         if (ParentRequires(n, 0)) {
           Matrix& g = ParentGrad(n, 0);
@@ -347,8 +544,14 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  const Matrix& av = a.value();
+  Matrix out = OutUninit(av.cols(), av.rows());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.At(c, r) = av.At(r, c);
+  }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
-      a.value().Transposed(), {a},
+      std::move(out), {a},
       [](TensorNode* n) {
         if (ParentRequires(n, 0)) {
           ParentGrad(n, 0).AddInPlace(n->grad.Transposed());
@@ -363,11 +566,12 @@ namespace {
 /// entry, backward multiplies the upstream grad by dact(x, y).
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseOp(const Tensor& a, Fwd fwd, Bwd bwd, const char* name) {
-  Matrix out = a.value();
+  Matrix out = OutCopy(a.value());
   for (int r = 0; r < out.rows(); ++r) {
     double* row = out.RowPtr(r);
     for (int c = 0; c < out.cols(); ++c) row[c] = fwd(row[c]);
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [bwd](TensorNode* n) {
@@ -434,7 +638,9 @@ Tensor Log(const Tensor& a, double eps) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
-  Matrix out = SoftmaxRowsValue(a.value());
+  Matrix out = OutUninit(a.rows(), a.cols());
+  SoftmaxRowsInto(a.value(), &out);
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [](TensorNode* n) {
@@ -456,7 +662,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 
 Tensor MaskedSoftmaxRows(const Tensor& a, const Matrix& mask) {
   DBG4ETH_CHECK(a.value().SameShape(mask));
-  Matrix out(a.rows(), a.cols());
+  Matrix out = OutZeros(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
     double max_v = -1e300;
     bool any = false;
@@ -479,6 +685,7 @@ Tensor MaskedSoftmaxRows(const Tensor& a, const Matrix& mask) {
       }
     }
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [](TensorNode* n) {
@@ -508,8 +715,9 @@ Tensor SoftmaxColVector(const Tensor& a) {
 }
 
 Tensor SumAll(const Tensor& a) {
-  Matrix out(1, 1);
+  Matrix out = OutUninit(1, 1);
   out.At(0, 0) = a.value().Sum();
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [](TensorNode* n) {
@@ -529,12 +737,13 @@ Tensor MeanAll(const Tensor& a) {
 }
 
 Tensor RowSum(const Tensor& a) {
-  Matrix out(a.rows(), 1);
+  Matrix out = OutUninit(a.rows(), 1);
   for (int r = 0; r < a.rows(); ++r) {
     double acc = 0.0;
     for (int c = 0; c < a.cols(); ++c) acc += a.value().At(r, c);
     out.At(r, 0) = acc;
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [](TensorNode* n) {
@@ -550,12 +759,13 @@ Tensor RowSum(const Tensor& a) {
 
 Tensor ColMean(const Tensor& a) {
   const int n_rows = a.rows();
-  Matrix out(1, a.cols());
+  Matrix out = OutUninit(1, a.cols());
   for (int c = 0; c < a.cols(); ++c) {
     double acc = 0.0;
     for (int r = 0; r < n_rows; ++r) acc += a.value().At(r, c);
     out.At(0, c) = acc / n_rows;
   }
+  if (TapeFree()) return ValueNode(std::move(out));
   return MakeNode(
       std::move(out), {a},
       [n_rows](TensorNode* n) {
@@ -571,14 +781,26 @@ Tensor ColMean(const Tensor& a) {
 
 Tensor MaxPoolRows(const Tensor& a) {
   DBG4ETH_CHECK_GT(a.rows(), 0);
-  Matrix out(1, a.cols());
-  std::vector<int> argmax(a.cols(), 0);
-  for (int c = 0; c < a.cols(); ++c) {
-    double best = a.value().At(0, c);
+  const Matrix& av = a.value();
+  Matrix out = OutUninit(1, av.cols());
+  if (TapeFree()) {
+    // Value-only: no argmax bookkeeping (that exists for the backward).
+    for (int c = 0; c < av.cols(); ++c) {
+      double best = av.At(0, c);
+      for (int r = 1; r < av.rows(); ++r) {
+        if (av.At(r, c) > best) best = av.At(r, c);
+      }
+      out.At(0, c) = best;
+    }
+    return ValueNode(std::move(out));
+  }
+  std::vector<int> argmax(av.cols(), 0);
+  for (int c = 0; c < av.cols(); ++c) {
+    double best = av.At(0, c);
     int best_r = 0;
-    for (int r = 1; r < a.rows(); ++r) {
-      if (a.value().At(r, c) > best) {
-        best = a.value().At(r, c);
+    for (int r = 1; r < av.rows(); ++r) {
+      if (av.At(r, c) > best) {
+        best = av.At(r, c);
         best_r = r;
       }
     }
@@ -604,7 +826,20 @@ Tensor SumPoolRows(const Tensor& a) {
 }
 
 Tensor L2NormalizeRows(const Tensor& a, double eps) {
-  Matrix out = a.value();
+  Matrix out = OutCopy(a.value());
+  if (TapeFree()) {
+    // Value-only: per-row norm kept in a scalar instead of the vector the
+    // backward needs.
+    for (int r = 0; r < a.rows(); ++r) {
+      double acc = 0.0;
+      for (int c = 0; c < a.cols(); ++c) {
+        acc += out.At(r, c) * out.At(r, c);
+      }
+      const double norm = std::sqrt(acc) + eps;
+      for (int c = 0; c < a.cols(); ++c) out.At(r, c) /= norm;
+    }
+    return ValueNode(std::move(out));
+  }
   std::vector<double> norms(a.rows());
   for (int r = 0; r < a.rows(); ++r) {
     double acc = 0.0;
@@ -716,19 +951,7 @@ Tensor MseLoss(const Tensor& a, const Tensor& b) {
 
 Matrix SoftmaxRowsValue(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (int r = 0; r < logits.rows(); ++r) {
-    double max_v = logits.At(r, 0);
-    for (int c = 1; c < logits.cols(); ++c) {
-      max_v = std::max(max_v, logits.At(r, c));
-    }
-    double denom = 0.0;
-    for (int c = 0; c < logits.cols(); ++c) {
-      denom += std::exp(logits.At(r, c) - max_v);
-    }
-    for (int c = 0; c < logits.cols(); ++c) {
-      out.At(r, c) = std::exp(logits.At(r, c) - max_v) / denom;
-    }
-  }
+  SoftmaxRowsInto(logits, &out);
   return out;
 }
 

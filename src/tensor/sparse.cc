@@ -56,6 +56,31 @@ SparseMatrix SparseMatrix::FromTriplets(
   return out;
 }
 
+SparseMatrix SparseMatrix::FromCsr(int rows, int cols,
+                                   std::vector<int> row_offsets,
+                                   std::vector<int> col_indices,
+                                   std::vector<double> values) {
+  DBG4ETH_CHECK_EQ(row_offsets.size(), static_cast<size_t>(rows) + 1);
+  DBG4ETH_CHECK_EQ(row_offsets.front(), 0);
+  DBG4ETH_CHECK_EQ(row_offsets.back(), static_cast<int>(values.size()));
+  DBG4ETH_CHECK_EQ(col_indices.size(), values.size());
+  for (int r = 0; r < rows; ++r) {
+    DBG4ETH_CHECK(row_offsets[r] <= row_offsets[r + 1]);
+    for (int e = row_offsets[r]; e < row_offsets[r + 1]; ++e) {
+      DBG4ETH_CHECK(col_indices[e] >= 0 && col_indices[e] < cols);
+      DBG4ETH_CHECK(e == row_offsets[r] || col_indices[e - 1] < col_indices[e])
+          << "column indices must be ascending within a row";
+    }
+  }
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_offsets_ = std::move(row_offsets);
+  out.col_indices_ = std::move(col_indices);
+  out.values_ = std::move(values);
+  return out;
+}
+
 Matrix SparseMatrix::ToDense() const {
   Matrix out(rows_, cols_);
   for (int r = 0; r < rows_; ++r) {
@@ -94,8 +119,16 @@ void SpMMAccumulate(const SparseMatrix& a, const Matrix& x, Matrix* out) {
 }
 
 Matrix SpMMTransA(const SparseMatrix& a, const Matrix& x) {
-  DBG4ETH_CHECK_EQ(a.rows(), x.rows());
   Matrix out(a.cols(), x.cols());
+  SpMMTransAAccumulate(a, x, &out);
+  return out;
+}
+
+void SpMMTransAAccumulate(const SparseMatrix& a, const Matrix& x,
+                          Matrix* out) {
+  DBG4ETH_CHECK_EQ(a.rows(), x.rows());
+  DBG4ETH_CHECK_EQ(out->rows(), a.cols());
+  DBG4ETH_CHECK_EQ(out->cols(), x.cols());
   const std::vector<int>& offsets = a.row_offsets();
   const std::vector<int>& cols = a.col_indices();
   const std::vector<double>& vals = a.values();
@@ -106,27 +139,34 @@ Matrix SpMMTransA(const SparseMatrix& a, const Matrix& x) {
     const double* xrow = x.RowPtr(r);
     for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
       const double v = vals[e];
-      double* orow = out.RowPtr(cols[e]);
+      double* orow = out->RowPtr(cols[e]);
       for (int j = 0; j < m; ++j) {
         orow[j] += v * xrow[j];
       }
     }
   }
-  return out;
 }
 
 Matrix MaskedMatMul(const SparseMatrix& support, const Matrix& a,
                     const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MaskedMatMulAccumulate(support, a, b, &out);
+  return out;
+}
+
+void MaskedMatMulAccumulate(const SparseMatrix& support, const Matrix& a,
+                            const Matrix& b, Matrix* out) {
   DBG4ETH_CHECK_EQ(support.rows(), a.rows());
   DBG4ETH_CHECK_EQ(support.cols(), a.cols());
   DBG4ETH_CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
+  DBG4ETH_CHECK_EQ(out->rows(), a.rows());
+  DBG4ETH_CHECK_EQ(out->cols(), b.cols());
   const std::vector<int>& offsets = support.row_offsets();
   const std::vector<int>& cols = support.col_indices();
   const int m = b.cols();
   for (int r = 0; r < a.rows(); ++r) {
     const double* arow = a.RowPtr(r);
-    double* orow = out.RowPtr(r);
+    double* orow = out->RowPtr(r);
     for (int e = offsets[r]; e < offsets[r + 1]; ++e) {
       const int k = cols[e];
       const double v = arow[k];
@@ -136,7 +176,6 @@ Matrix MaskedMatMul(const SparseMatrix& support, const Matrix& a,
       }
     }
   }
-  return out;
 }
 
 void MaskedOuterAccumulate(const SparseMatrix& support, const Matrix& dout,

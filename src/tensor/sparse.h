@@ -33,6 +33,15 @@ class SparseMatrix {
       int rows, int cols,
       const std::vector<std::tuple<int, int, double>>& triplets);
 
+  /// Adopts ready-made CSR arrays (validated: monotone offsets of size
+  /// rows + 1, in-range ascending column indices per row). Used by the
+  /// block-diagonal packer, which concatenates per-graph CSR operators
+  /// without round-tripping through triplets.
+  static SparseMatrix FromCsr(int rows, int cols,
+                              std::vector<int> row_offsets,
+                              std::vector<int> col_indices,
+                              std::vector<double> values);
+
   Matrix ToDense() const;
 
   int rows() const { return rows_; }
@@ -62,6 +71,10 @@ void SpMMAccumulate(const SparseMatrix& a, const Matrix& x, Matrix* out);
 /// out = a^T * x without materializing the transpose. This is the backward
 /// kernel of SpMM: dX = A^T * dOut.
 Matrix SpMMTransA(const SparseMatrix& a, const Matrix& x);
+/// Accumulates a^T * x into *out (must be pre-shaped). Allocation-free
+/// form used by the inference fast path.
+void SpMMTransAAccumulate(const SparseMatrix& a, const Matrix& x,
+                          Matrix* out);
 
 /// Masked-product kernels for attention: `a` is a dense matrix that is
 /// exactly zero outside the support pattern (e.g. a masked-softmax
@@ -73,6 +86,10 @@ Matrix SpMMTransA(const SparseMatrix& a, const Matrix& x);
 /// support entries (i,k).
 Matrix MaskedMatMul(const SparseMatrix& support, const Matrix& a,
                     const Matrix& b);
+/// Accumulates the masked product into *out (must be pre-shaped).
+/// Allocation-free form used by the inference fast path.
+void MaskedMatMulAccumulate(const SparseMatrix& support, const Matrix& a,
+                            const Matrix& b, Matrix* out);
 /// *da(i,k) += dot(dout(i,:), b(k,:)) at support entries — the dA = dOut
 /// @ B^T backward of MaskedMatMul, skipping entries the masked softmax
 /// annihilates anyway.

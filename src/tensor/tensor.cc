@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "tensor/inference.h"
 
 namespace dbg4eth {
 namespace ag {
@@ -15,7 +17,17 @@ namespace {
 /// thread, if any.
 thread_local GradientBuffer* t_active_gradient_buffer = nullptr;
 
+std::atomic<uint64_t> g_node_allocations{0};
+
 }  // namespace
+
+TensorNode::TensorNode() {
+  g_node_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NodeAllocationCount() {
+  return g_node_allocations.load(std::memory_order_relaxed);
+}
 
 void TensorNode::EnsureGrad() {
   if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
@@ -61,6 +73,14 @@ void GradientBuffer::ReduceInto() {
 }
 
 Tensor::Tensor(Matrix value, bool requires_grad) {
+  if (!requires_grad) {
+    // Constants built under an active InferenceScope draw a pooled
+    // value-only node instead of hitting the allocator.
+    if (InferenceArena* arena = internal::ActiveInferenceArena()) {
+      node_ = arena->MakeValueNode(std::move(value));
+      return;
+    }
+  }
   node_ = std::make_shared<internal::TensorNode>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;

@@ -1,6 +1,7 @@
 #ifndef DBG4ETH_TENSOR_TENSOR_H_
 #define DBG4ETH_TENSOR_TENSOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,11 @@ namespace internal {
 
 /// One node of the dynamic computation graph built by the ops in ops.h.
 struct TensorNode {
+  /// Counted constructor: every heap-allocated node bumps the process-wide
+  /// counter behind NodeAllocationCount(), which the fast-path tests use to
+  /// assert the inference path allocates zero autograd nodes.
+  TensorNode();
+
   Matrix value;
   Matrix grad;  // allocated lazily by EnsureGrad()
   bool requires_grad = false;
@@ -46,6 +52,11 @@ struct TensorNode {
 /// ops.cc funnels through this (via ParentGrad), which is what makes the
 /// buffered backward below race-free without locking.
 Matrix& GradAccumTarget(TensorNode* node);
+
+/// Total TensorNode heap allocations since process start (monotonic,
+/// relaxed). Diff around a forward pass to measure tape pressure; the
+/// inference fast path must leave this unchanged in steady state.
+uint64_t NodeAllocationCount();
 
 }  // namespace internal
 

@@ -1,0 +1,473 @@
+// Grad-free inference fast path: bit-exactness of the tape-free forward
+// (every GNN layer and both branch encoders), block-diagonal micro-batch
+// scoring, arena buffer reuse, and the zero-allocation steady state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gsg_encoder.h"
+#include "core/ldg_encoder.h"
+#include "gnn/conv.h"
+#include "gnn/diffpool.h"
+#include "gnn/gru.h"
+#include "gnn/hier_attention.h"
+#include "gnn/linear.h"
+#include "gnn/transformer.h"
+#include "graph/graph.h"
+#include "graph/pack.h"
+#include "tensor/gradcheck.h"
+#include "tensor/inference.h"
+#include "tensor/ops.h"
+
+namespace dbg4eth {
+namespace {
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a.At(r, c), b.At(r, c))
+          << "mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+/// Runs `forward` on the tape and again under a fresh inference arena and
+/// asserts the values are bit-identical. Returns the tape value.
+Matrix ExpectTapeFreeMatchesTape(
+    const std::function<ag::Tensor()>& forward) {
+  const Matrix tape = forward().value();
+  Matrix fast;
+  {
+    ag::InferenceArena arena;
+    ag::InferenceScope scope(&arena);
+    EXPECT_TRUE(scope.bound());
+    fast = forward().value();
+  }
+  ExpectBitEqual(fast, tape);
+  return tape;
+}
+
+graph::Graph MakeGraph(int num_nodes, int feature_dim, uint64_t seed) {
+  graph::Graph g;
+  g.num_nodes = num_nodes;
+  for (int v = 1; v < num_nodes; ++v) {
+    g.edges.push_back({v - 1, v});
+    if (v + 2 < num_nodes) g.edges.push_back({v, v + 2});
+  }
+  Rng rng(seed);
+  g.node_features = Matrix::Random(num_nodes, feature_dim, &rng);
+  g.edge_features =
+      Matrix::Random(static_cast<int>(g.edges.size()), 2, &rng, 0.1, 5.0);
+  g.label = static_cast<int>(seed % 2);
+  return g;
+}
+
+std::vector<graph::Graph> MakeSlices(int num_nodes, int feature_dim,
+                                     int num_slices, uint64_t seed) {
+  std::vector<graph::Graph> slices;
+  for (int t = 0; t < num_slices; ++t) {
+    graph::Graph slice = MakeGraph(num_nodes, feature_dim, seed + t);
+    if (t % 3 == 2) {  // Some slices are empty (no transactions).
+      slice.edges.clear();
+      slice.edge_features = Matrix();
+    }
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+// --------------------------------------------------------------------------
+// Per-layer bit-exactness: tape-free forward == tape forward.
+// --------------------------------------------------------------------------
+
+TEST(TapeFreeLayerTest, Linear) {
+  Rng rng(1);
+  gnn::Linear lin(6, 4, &rng);
+  const Matrix x = Matrix::Random(5, 6, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape(
+      [&] { return lin.Forward(ag::Tensor::Constant(x)); });
+}
+
+TEST(TapeFreeLayerTest, GcnConvDenseAndSparse) {
+  Rng rng(2);
+  graph::Graph g = MakeGraph(6, 3, 11);
+  gnn::GcnConv conv(3, 4, &rng);
+  const Matrix x = Matrix::Random(6, 3, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape([&] {
+    return conv.Forward(ag::Tensor::Constant(g.NormalizedAdjacency()),
+                        ag::Tensor::Constant(x));
+  });
+  ExpectTapeFreeMatchesTape([&] {
+    return conv.Forward(g.WeightedAdjacencySparse(),
+                        ag::Tensor::Constant(x));
+  });
+}
+
+TEST(TapeFreeLayerTest, GatConvMaskedAndPacked) {
+  Rng rng(3);
+  graph::Graph g = MakeGraph(7, 3, 12);
+  gnn::GatConv conv(3, 4, /*num_heads=*/2, &rng);
+  const Matrix x = Matrix::Random(7, 3, &rng, -1.0, 1.0);
+  const Matrix tape = ExpectTapeFreeMatchesTape([&] {
+    return conv.Forward(ag::Tensor::Constant(x), g.AttentionMask(),
+                        g.AttentionMaskSparse());
+  });
+  // The packed (fused-attention) forward must match the composed one bit
+  // for bit on the tape and under the arena.
+  const Matrix packed_tape =
+      conv.ForwardPacked(ag::Tensor::Constant(x), g.AttentionMaskSparse())
+          .value();
+  ExpectBitEqual(packed_tape, tape);
+  ExpectTapeFreeMatchesTape([&] {
+    return conv.ForwardPacked(ag::Tensor::Constant(x),
+                              g.AttentionMaskSparse());
+  });
+}
+
+TEST(TapeFreeLayerTest, AppnpDenseAndSparse) {
+  Rng rng(4);
+  graph::Graph g = MakeGraph(6, 3, 13);
+  gnn::Appnp model(3, 8, 2, /*k_steps=*/3, /*alpha=*/0.2, &rng);
+  const Matrix x = Matrix::Random(6, 3, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape([&] {
+    return model.Forward(ag::Tensor::Constant(g.NormalizedAdjacency()),
+                         ag::Tensor::Constant(x));
+  });
+  ExpectTapeFreeMatchesTape([&] {
+    return model.Forward(g.NormalizedAdjacencySparse(),
+                         ag::Tensor::Constant(x));
+  });
+}
+
+TEST(TapeFreeLayerTest, GruCell) {
+  Rng rng(5);
+  gnn::GruCell cell(4, &rng);
+  const Matrix u = Matrix::Random(3, 4, &rng, -1.0, 1.0);
+  const Matrix h = Matrix::Random(3, 4, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape([&] {
+    return cell.Forward(ag::Tensor::Constant(u), ag::Tensor::Constant(h));
+  });
+}
+
+TEST(TapeFreeLayerTest, DiffPoolPyramid) {
+  Rng rng(6);
+  graph::Graph g = MakeGraph(6, 3, 14);
+  gnn::DiffPool pool1(3, 2, &rng);
+  gnn::DiffPool pool2(3, 1, &rng);
+  const Matrix x = Matrix::Random(6, 3, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape([&] {
+    auto level1 = pool1.Forward(
+        ag::Tensor::Constant(g.NormalizedAdjacency()),
+        ag::Tensor::Constant(x));
+    auto level2 = pool2.Forward(level1.adjacency, level1.features);
+    return level2.features;
+  });
+}
+
+TEST(TapeFreeLayerTest, GraphAttentionReadout) {
+  Rng rng(7);
+  gnn::GraphAttentionReadout readout(5, &rng);
+  const Matrix h = Matrix::Random(6, 5, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape(
+      [&] { return readout.Forward(ag::Tensor::Constant(h)); });
+}
+
+TEST(TapeFreeLayerTest, SequenceEncoder) {
+  Rng rng(8);
+  gnn::SequenceEncoder encoder(4, 8, /*num_blocks=*/2, /*num_heads=*/2,
+                               /*num_classes=*/2, &rng);
+  const Matrix seq = Matrix::Random(6, 4, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape(
+      [&] { return encoder.Forward(ag::Tensor::Constant(seq)); });
+}
+
+TEST(TapeFreeLayerTest, GraphTransformer) {
+  Rng rng(9);
+  graph::Graph g = MakeGraph(5, 3, 15);
+  gnn::GraphTransformer model(3, 8, 1, 2, 2, &rng);
+  const Matrix adj = g.DenseAdjacency(true, false);
+  const Matrix x = Matrix::Random(5, 3, &rng, -1.0, 1.0);
+  ExpectTapeFreeMatchesTape(
+      [&] { return model.Forward(ag::Tensor::Constant(x), adj); });
+}
+
+// --------------------------------------------------------------------------
+// The fused attention op behind the packed GAT forward.
+// --------------------------------------------------------------------------
+
+TEST(MaskedAttentionAlphaTest, MatchesComposedSoftmaxBitForBit) {
+  Rng rng(10);
+  graph::Graph g = MakeGraph(7, 3, 16);
+  const Matrix u = Matrix::Random(7, 1, &rng, -1.0, 1.0);
+  const Matrix v = Matrix::Random(7, 1, &rng, -1.0, 1.0);
+  const Matrix composed =
+      ag::MaskedSoftmaxRows(
+          ag::LeakyRelu(ag::PairwiseSum(ag::Tensor::Constant(u),
+                                        ag::Tensor::Constant(v)),
+                        0.2),
+          g.AttentionMask())
+          .value();
+  const Matrix fused = ExpectTapeFreeMatchesTape([&] {
+    return ag::MaskedAttentionAlpha(g.AttentionMaskSparse(),
+                                    ag::Tensor::Constant(u),
+                                    ag::Tensor::Constant(v), 0.2);
+  });
+  ExpectBitEqual(fused, composed);
+}
+
+TEST(MaskedAttentionAlphaTest, GradCheck) {
+  Rng rng(11);
+  graph::Graph g = MakeGraph(6, 3, 17);
+  ag::Tensor u = ag::Tensor::Parameter(Matrix::Random(6, 1, &rng, -1.0, 1.0));
+  ag::Tensor v = ag::Tensor::Parameter(Matrix::Random(6, 1, &rng, -1.0, 1.0));
+  const Matrix weights = Matrix::Random(6, 6, &rng, -1.0, 1.0);
+  auto loss = [&] {
+    ag::Tensor alpha =
+        ag::MaskedAttentionAlpha(g.AttentionMaskSparse(), u, v, 0.2);
+    return ag::SumAll(ag::Mul(alpha, ag::Tensor::Constant(weights)));
+  };
+  auto res = ag::CheckGradients(loss, {u, v}, 1e-5, 1e-3);
+  EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+// --------------------------------------------------------------------------
+// Block-diagonal packing primitives.
+// --------------------------------------------------------------------------
+
+TEST(PackedBlocksTest, ConcatBlockDiagonalShiftsColumns) {
+  graph::Graph a = MakeGraph(3, 2, 21);
+  graph::Graph b = MakeGraph(5, 2, 22);
+  const graph::PackedBlocks pack = graph::MakePackedBlocks({3, 5});
+  EXPECT_EQ(pack.total_nodes, 8);
+  EXPECT_EQ(pack.begin(1), 3);
+  EXPECT_EQ(pack.end(1), 8);
+  const auto packed = graph::ConcatBlockDiagonal(
+      pack, {a.AttentionMaskSparse(), b.AttentionMaskSparse()});
+  const Matrix dense_a = a.AttentionMask();
+  const Matrix dense_b = b.AttentionMask();
+  const Matrix dense_packed = packed->ToDense();
+  ASSERT_EQ(dense_packed.rows(), 8);
+  ASSERT_EQ(dense_packed.cols(), 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      double expected = 0.0;
+      if (r < 3 && c < 3) expected = dense_a.At(r, c);
+      if (r >= 3 && c >= 3) expected = dense_b.At(r - 3, c - 3);
+      EXPECT_DOUBLE_EQ(dense_packed.At(r, c), expected)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(PackedBlocksTest, StackBlockRowsConcatenates) {
+  Rng rng(23);
+  const Matrix a = Matrix::Random(2, 3, &rng);
+  const Matrix b = Matrix::Random(4, 3, &rng);
+  const Matrix stacked = graph::StackBlockRows({&a, &b});
+  ASSERT_EQ(stacked.rows(), 6);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(stacked.At(0, c), a.At(0, c));
+    EXPECT_DOUBLE_EQ(stacked.At(2, c), b.At(0, c));
+    EXPECT_DOUBLE_EQ(stacked.At(5, c), b.At(3, c));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Encoder-level bit-exactness: solo tape vs tape-free vs batched.
+// --------------------------------------------------------------------------
+
+core::GsgEncoderConfig SmallGsgConfig() {
+  core::GsgEncoderConfig config;
+  config.node_feature_dim = 6;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.num_gat_layers = 2;
+  config.seed = 31;
+  return config;
+}
+
+core::LdgEncoderConfig SmallLdgConfig() {
+  core::LdgEncoderConfig config;
+  config.node_feature_dim = 6;
+  config.hidden_dim = 8;
+  config.num_time_slices = 3;
+  config.first_level_clusters = 2;
+  config.seed = 32;
+  return config;
+}
+
+TEST(GsgFastPathTest, TapeFreeSoloScoreIsBitIdentical) {
+  core::GsgEncoder encoder(SmallGsgConfig());
+  graph::Graph g = MakeGraph(6, 6, 41);
+  const double tape = encoder.PredictScore(g);
+  double fast = 0.0;
+  {
+    ag::InferenceScope scope;
+    fast = encoder.PredictScore(g);
+  }
+  EXPECT_DOUBLE_EQ(fast, tape);
+}
+
+TEST(GsgFastPathTest, BatchedScoresMatchSoloAtEverySize) {
+  core::GsgEncoder encoder(SmallGsgConfig());
+  // Heterogeneous subgraph sizes — the packed forward must keep each
+  // block's rows bit-identical regardless of its offset and neighbors.
+  std::vector<graph::Graph> graphs;
+  for (int i = 0; i < 5; ++i) graphs.push_back(MakeGraph(3 + 2 * i, 6, 50 + i));
+  std::vector<double> solo;
+  for (const graph::Graph& g : graphs) solo.push_back(encoder.PredictScore(g));
+
+  for (size_t batch : {size_t{1}, size_t{2}, graphs.size()}) {
+    std::vector<const graph::Graph*> ptrs;
+    for (size_t i = 0; i < batch; ++i) ptrs.push_back(&graphs[i]);
+    const std::vector<double> batched = encoder.PredictScoreBatch(ptrs);
+    ASSERT_EQ(batched.size(), batch);
+    for (size_t i = 0; i < batch; ++i) {
+      EXPECT_DOUBLE_EQ(batched[i], solo[i])
+          << "batch size " << batch << ", graph " << i;
+    }
+  }
+}
+
+TEST(LdgFastPathTest, TapeFreeSoloScoreIsBitIdentical) {
+  core::LdgEncoder encoder(SmallLdgConfig());
+  const auto slices = MakeSlices(5, 6, 3, 61);
+  const double tape = encoder.PredictScore(slices);
+  double fast = 0.0;
+  {
+    ag::InferenceScope scope;
+    fast = encoder.PredictScore(slices);
+  }
+  EXPECT_DOUBLE_EQ(fast, tape);
+}
+
+TEST(LdgFastPathTest, BatchedScoresMatchSoloAtEverySize) {
+  core::LdgEncoder encoder(SmallLdgConfig());
+  std::vector<std::vector<graph::Graph>> instances;
+  for (int i = 0; i < 4; ++i) {
+    instances.push_back(MakeSlices(3 + 2 * i, 6, 3, 70 + 10 * i));
+  }
+  std::vector<double> solo;
+  for (const auto& slices : instances) {
+    solo.push_back(encoder.PredictScore(slices));
+  }
+
+  for (size_t batch : {size_t{1}, size_t{2}, instances.size()}) {
+    std::vector<const std::vector<graph::Graph>*> ptrs;
+    for (size_t i = 0; i < batch; ++i) ptrs.push_back(&instances[i]);
+    const std::vector<double> batched = encoder.PredictScoreBatch(ptrs);
+    ASSERT_EQ(batched.size(), batch);
+    for (size_t i = 0; i < batch; ++i) {
+      EXPECT_DOUBLE_EQ(batched[i], solo[i])
+          << "batch size " << batch << ", instance " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Arena mechanics: pooling, reuse, lifetime, the global switch.
+// --------------------------------------------------------------------------
+
+TEST(InferenceArenaTest, SteadyStatePassAllocatesNoNodesOrBuffers) {
+  core::GsgEncoder encoder(SmallGsgConfig());
+  std::vector<graph::Graph> graphs;
+  for (int i = 0; i < 3; ++i) graphs.push_back(MakeGraph(4 + i, 6, 80 + i));
+  std::vector<const graph::Graph*> ptrs;
+  for (const graph::Graph& g : graphs) ptrs.push_back(&g);
+
+  // First pass warms the thread-local arena's node pool and buffer free
+  // list; the second identical pass must reuse everything.
+  const std::vector<double> first = encoder.PredictScoreBatch(ptrs);
+  const uint64_t nodes_before = ag::internal::NodeAllocationCount();
+  const std::vector<double> second = encoder.PredictScoreBatch(ptrs);
+  EXPECT_EQ(ag::internal::NodeAllocationCount(), nodes_before)
+      << "steady-state fast-path pass allocated autograd nodes";
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+
+  const ag::InferenceArena* arena = ag::InferenceArena::ThreadLocal();
+  const ag::InferenceArena::PassStats& stats = arena->pass_stats();
+  EXPECT_GT(stats.nodes, 0u);
+  EXPECT_EQ(stats.fresh_nodes, 0u);
+  EXPECT_GT(stats.buffers, 0u);
+  EXPECT_EQ(stats.fresh_buffers, 0u);
+  EXPECT_EQ(stats.fresh_bytes, 0u);
+  EXPECT_GT(arena->owned_bytes(), 0u);
+  EXPECT_GT(arena->pooled_nodes(), 0u);
+}
+
+TEST(InferenceArenaTest, HeldTensorsSurviveTheNextPass) {
+  ag::Tensor held;
+  {
+    ag::InferenceScope scope;
+    held = ag::Relu(
+        ag::Tensor::Constant(Matrix::FromFlat(1, 2, {-1.0, 2.0})));
+  }
+  {
+    // The next scope's BeginPass reclaims the previous pass; the held
+    // node must be abandoned to its holder, not recycled under it.
+    ag::InferenceScope scope;
+    ag::Tensor other = ag::Relu(
+        ag::Tensor::Constant(Matrix::FromFlat(1, 2, {3.0, -4.0})));
+    EXPECT_DOUBLE_EQ(other.value().At(0, 0), 3.0);
+  }
+  EXPECT_DOUBLE_EQ(held.value().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(held.value().At(0, 1), 2.0);
+}
+
+TEST(InferenceArenaTest, NestedScopesShareOnePass) {
+  ag::InferenceScope outer;
+  ASSERT_TRUE(outer.bound());
+  const size_t pooled = ag::InferenceArena::ThreadLocal()->pooled_nodes();
+  {
+    ag::InferenceScope inner;
+    EXPECT_FALSE(inner.bound());  // No rebind, no BeginPass.
+    ag::Tensor t = ag::Tensor::Constant(Matrix::FromFlat(1, 1, {1.0}));
+    EXPECT_DOUBLE_EQ(t.value().At(0, 0), 1.0);
+  }
+  // The inner scope's destruction must not have unbound the arena.
+  EXPECT_NE(ag::internal::ActiveInferenceArena(), nullptr);
+  (void)pooled;
+}
+
+TEST(InferenceArenaTest, GlobalSwitchDisablesTheFastPath) {
+  ag::SetInferenceFastPathEnabled(false);
+  {
+    ag::InferenceScope scope;
+    EXPECT_FALSE(scope.bound());
+    EXPECT_EQ(ag::internal::ActiveInferenceArena(), nullptr);
+  }
+  ag::SetInferenceFastPathEnabled(true);
+  {
+    ag::InferenceScope scope;
+    EXPECT_TRUE(scope.bound());
+  }
+}
+
+TEST(InferenceArenaTest, BatchedScoreMatchesWithFastPathDisabled) {
+  // The block-diagonal batched forward must be bit-identical whether it
+  // runs tape-free (arena) or on the tape (fast path globally off).
+  core::GsgEncoder encoder(SmallGsgConfig());
+  std::vector<graph::Graph> graphs;
+  for (int i = 0; i < 3; ++i) graphs.push_back(MakeGraph(4 + i, 6, 90 + i));
+  std::vector<const graph::Graph*> ptrs;
+  for (const graph::Graph& g : graphs) ptrs.push_back(&g);
+  const std::vector<double> fast = encoder.PredictScoreBatch(ptrs);
+  ag::SetInferenceFastPathEnabled(false);
+  const std::vector<double> tape = encoder.PredictScoreBatch(ptrs);
+  ag::SetInferenceFastPathEnabled(true);
+  ASSERT_EQ(fast.size(), tape.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast[i], tape[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dbg4eth

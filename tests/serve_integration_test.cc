@@ -11,10 +11,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/dbg4eth.h"
 #include "eth/appendable_ledger.h"
 #include "eth/dataset.h"
 #include "eth/ledger.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inference_service.h"
 
@@ -479,6 +481,106 @@ TEST_F(ServeIntegrationTest, OverloadServesStaleScoreFromPreviousHeight) {
   EXPECT_EQ(stats.stale.count, 1u);
   EXPECT_EQ(stats.shed, 0u);
   EXPECT_EQ(stats.requests, 3u);  // Two cold scores + one stale serve.
+}
+
+// --------------------------------------------------------------------------
+// Grad-free fast path: packed micro-batch scoring, worker clamp
+// --------------------------------------------------------------------------
+
+TEST_F(ServeIntegrationTest, BatchedColdScoresMatchPerRequestReference) {
+  std::stringstream checkpoint(*checkpoint_);
+  InferenceServiceConfig config = ServiceConfig(1);
+  // Hold the batch open long enough for several distinct cold requests to
+  // land in one dispatch, so they take the packed block-diagonal forward.
+  config.queue.max_batch = 4;
+  config.queue.max_wait_us = 50'000;
+  auto created = InferenceService::Create(config, &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 3u);
+
+  obs::Counter* packed_batches = obs::MetricsRegistry::Global()->CounterAt(
+      "serve_fastpath_batches_total",
+      "Cold-request groups scored through one packed block-diagonal "
+      "forward");
+  const uint64_t packed_before = packed_batches->Value();
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (size_t i = 0; i < 3; ++i) {
+    futures.push_back(service.ScoreAsync(exchanges[i]));
+  }
+  std::vector<ScoreResult> results;
+  for (auto& future : futures) results.push_back(future.get());
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status.ToString();
+    EXPECT_FALSE(results[i].cache_hit);
+    auto inst = eth::MaterializeInstance(*ledger_, exchanges[i], Sampling(),
+                                         kTimeSlices);
+    ASSERT_TRUE(inst.ok());
+    model_->Normalize(&inst.ValueOrDie());
+    // The packed forward must be bit-identical to the solo cold path.
+    EXPECT_DOUBLE_EQ(results[i].probability,
+                     model_->PredictProba(inst.ValueOrDie()))
+        << "address " << exchanges[i];
+  }
+  EXPECT_GT(packed_batches->Value(), packed_before)
+      << "the grouped cold requests never took the packed forward";
+}
+
+TEST_F(ServeIntegrationTest, SequentialPathWhenBatchForwardDisabled) {
+  std::stringstream checkpoint(*checkpoint_);
+  InferenceServiceConfig config = ServiceConfig(1);
+  config.batch_forward = false;
+  config.queue.max_batch = 4;
+  config.queue.max_wait_us = 50'000;
+  auto created = InferenceService::Create(config, &checkpoint, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  std::vector<std::future<ScoreResult>> futures;
+  for (size_t i = 0; i < 3; ++i) {
+    futures.push_back(service.ScoreAsync(exchanges[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ScoreResult result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    auto inst = eth::MaterializeInstance(*ledger_, exchanges[i], Sampling(),
+                                         kTimeSlices);
+    ASSERT_TRUE(inst.ok());
+    model_->Normalize(&inst.ValueOrDie());
+    EXPECT_DOUBLE_EQ(result.probability,
+                     model_->PredictProba(inst.ValueOrDie()));
+  }
+}
+
+TEST_F(ServeIntegrationTest, WorkerCountClampsToHardwareConcurrency) {
+  const int hardware = ResolveNumThreads(0);
+
+  std::stringstream oversubscribed(*checkpoint_);
+  auto created = InferenceService::Create(ServiceConfig(hardware + 63),
+                                          &oversubscribed, ledger_);
+  ASSERT_TRUE(created.ok());
+  auto& service = *created.ValueOrDie();
+  EXPECT_EQ(service.num_workers(), hardware);
+  EXPECT_EQ(service.StatsSnapshot().workers, hardware);
+
+  std::stringstream automatic(*checkpoint_);
+  auto auto_created =
+      InferenceService::Create(ServiceConfig(0), &automatic, ledger_);
+  ASSERT_TRUE(auto_created.ok());
+  EXPECT_EQ(auto_created.ValueOrDie()->num_workers(), hardware);
+
+  std::stringstream modest(*checkpoint_);
+  auto modest_created =
+      InferenceService::Create(ServiceConfig(1), &modest, ledger_);
+  ASSERT_TRUE(modest_created.ok());
+  EXPECT_EQ(modest_created.ValueOrDie()->num_workers(), 1);
 }
 
 TEST_F(ServeIntegrationTest, AppendableLedgerGrowsAndIndexes) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification flow: the tier-1 gate plus the observability and
-# serving suites under ThreadSanitizer.
+# serving suites under ThreadSanitizer, and a serving-latency regression
+# guard against the committed BENCH_serve.json.
 #
 #   tools/check.sh            # tier-1 + tsan obs/serve
 #   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh --bench    # tier-1 + bench-regression guard
 #
 # Run from anywhere; paths resolve relative to the repo root.
 set -euo pipefail
@@ -12,8 +14,11 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 fast=0
+bench=0
 if [[ "${1:-}" == "--fast" ]]; then
   fast=1
+elif [[ "${1:-}" == "--bench" ]]; then
+  bench=1
 fi
 
 echo "=== tier-1: configure + build + ctest (build/) ==="
@@ -21,8 +26,51 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest -L tier1 --no-tests=error --output-on-failure -j"$(nproc)")
 
-if [[ "${fast}" == "1" ]]; then
-  echo "=== fast mode: skipping tsan pass ==="
+if [[ "${bench}" == "1" ]]; then
+  echo "=== bench-regression guard: cold p50/p95 vs committed BENCH_serve.json ==="
+  cmake --build build -j --target bench_serve_throughput >/dev/null
+  fresh_a="$(mktemp /tmp/bench_serve.XXXXXX.json)"
+  fresh_b="$(mktemp /tmp/bench_serve.XXXXXX.json)"
+  trap 'rm -f "${fresh_a}" "${fresh_b}"' EXIT
+  ./build/bench/bench_serve_throughput "${fresh_a}" >/dev/null
+  # A second sample guards against flakes: latency quantiles of a
+  # queue-dominated run jitter well past 20% on a busy machine, so a
+  # regression must reproduce in both runs to fail the check.
+  ./build/bench/bench_serve_throughput "${fresh_b}" >/dev/null
+  python3 - "BENCH_serve.json" "${fresh_a}" "${fresh_b}" <<'PY'
+import json, sys
+
+committed = json.load(open(sys.argv[1]))
+samples = [json.load(open(path)) for path in sys.argv[2:]]
+
+def cold_latency(doc, workers):
+    for point in doc["cold"]:
+        if point["workers"] == workers:
+            return point["latency"]
+    raise SystemExit(f"no cold point at workers={workers}")
+
+failed = False
+for workers in (1, 8):
+    base = cold_latency(committed, workers)
+    for quantile in ("p50_us", "p95_us"):
+        best = min(cold_latency(s, workers)[quantile] for s in samples)
+        ratio = best / base[quantile] if base[quantile] > 0 else 1.0
+        marker = "OK  "
+        if ratio > 1.20:  # >20% slower than the committed baseline.
+            marker = "FAIL"
+            failed = True
+        print(f"  {marker} cold {quantile} workers={workers}: "
+              f"best-of-{len(samples)} {best:.0f}us vs baseline "
+              f"{base[quantile]:.0f}us ({ratio:.2f}x)")
+if failed:
+    raise SystemExit("bench regression: cold latency >20% above the "
+                     "committed BENCH_serve.json baseline in every sample")
+print("  bench-regression guard passed")
+PY
+fi
+
+if [[ "${fast}" == "1" || "${bench}" == "1" ]]; then
+  echo "=== skipping tsan pass (fast/bench mode) ==="
   exit 0
 fi
 
@@ -33,8 +81,8 @@ cmake --build --preset tsan -j
 echo "=== tsan: obs suite (ctest -L obs) ==="
 (cd build-tsan && ctest -L obs --no-tests=error --output-on-failure -j"$(nproc)")
 
-echo "=== tsan: serve + chaos suites ==="
-(cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache" \
+echo "=== tsan: serve + chaos + inference fast-path suites ==="
+(cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache|InferenceArena|TapeFree|FastPath|MaskedAttentionAlpha|PackedBlocks" \
     --no-tests=error --output-on-failure -j"$(nproc)")
 
 echo "=== all checks passed ==="
