@@ -188,18 +188,34 @@ Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
   return store;
 }
 
-std::vector<std::string> CheckpointStore::ListCheckpoints() const {
-  std::vector<std::pair<uint64_t, std::string>> found;
+std::vector<CheckpointStore::Generation> CheckpointStore::ListGenerations()
+    const {
+  std::vector<Generation> found;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
     const uint64_t seq = SequenceOf(entry.path().filename().string());
-    if (seq > 0) found.emplace_back(seq, entry.path().string());
+    if (seq > 0) found.push_back({seq, entry.path().string()});
   }
-  std::sort(found.begin(), found.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    return a.sequence > b.sequence;
+  });
+  return found;
+}
+
+uint64_t CheckpointStore::LatestGeneration() const {
+  uint64_t latest = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    latest = std::max(latest, SequenceOf(entry.path().filename().string()));
+  }
+  return latest;
+}
+
+std::vector<std::string> CheckpointStore::ListCheckpoints() const {
+  std::vector<Generation> found = ListGenerations();
   std::vector<std::string> paths;
   paths.reserve(found.size());
-  for (auto& [seq, path] : found) paths.push_back(std::move(path));
+  for (Generation& gen : found) paths.push_back(std::move(gen.path));
   return paths;
 }
 
@@ -260,6 +276,13 @@ Result<std::string> CheckpointStore::Save(
 }
 
 Result<std::string> CheckpointStore::LoadLatestValid() const {
+  DBG4ETH_ASSIGN_OR_RETURN(LoadedCheckpoint loaded,
+                           LoadLatestValidGeneration());
+  return std::move(loaded.payload);
+}
+
+Result<CheckpointStore::LoadedCheckpoint>
+CheckpointStore::LoadLatestValidGeneration() const {
   static obs::Histogram* walk_hist =
       obs::MetricsRegistry::Global()->HistogramAt(
           "ckpt_recovery_walk_us",
@@ -270,18 +293,21 @@ Result<std::string> CheckpointStore::LoadLatestValid() const {
           "Checkpoint generations skipped during recovery as unreadable or "
           "corrupt");
   obs::ScopedTimer walk_timer(walk_hist);
-  for (const std::string& path : ListCheckpoints()) {
-    std::ifstream in(path, std::ios::binary);
+  for (const Generation& gen : ListGenerations()) {
+    std::ifstream in(gen.path, std::ios::binary);
     if (!in) {
       corrupt_total->Inc();
-      DBG4ETH_LOG(Warning) << "checkpoint " << path
+      DBG4ETH_LOG(Warning) << "checkpoint " << gen.path
                            << " unreadable; trying an older one";
       continue;
     }
     Result<std::string> payload = ReadFramedCheckpoint(&in);
-    if (payload.ok()) return payload;
+    if (payload.ok()) {
+      return LoadedCheckpoint{gen.sequence, gen.path,
+                              std::move(payload).ValueOrDie()};
+    }
     corrupt_total->Inc();
-    DBG4ETH_LOG(Warning) << "checkpoint " << path << " skipped: "
+    DBG4ETH_LOG(Warning) << "checkpoint " << gen.path << " skipped: "
                          << payload.status().ToString();
   }
   return Status::NotFound("no valid checkpoint in " + config_.directory);

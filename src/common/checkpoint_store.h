@@ -92,6 +92,33 @@ class CheckpointStore {
   /// files are skipped with a logged reason; NotFound when none is valid.
   Result<std::string> LoadLatestValid() const;
 
+  /// \brief One on-disk checkpoint generation (no payload read).
+  struct Generation {
+    uint64_t sequence = 0;
+    std::string path;
+  };
+
+  /// \brief A validated payload together with the generation it came from.
+  struct LoadedCheckpoint {
+    uint64_t sequence = 0;
+    std::string path;
+    std::string payload;
+  };
+
+  /// On-disk generations, newest first. A directory scan only — payloads
+  /// are not opened, so pollers (e.g. the serving-side reload watcher) can
+  /// call this every tick cheaply.
+  std::vector<Generation> ListGenerations() const;
+
+  /// Sequence number of the newest on-disk generation, 0 when the store is
+  /// empty. Same cost as ListGenerations (one directory scan, no reads).
+  uint64_t LatestGeneration() const;
+
+  /// LoadLatestValid plus the generation metadata of the checkpoint that
+  /// validated — the reload watcher needs the sequence to tell "newest is
+  /// corrupt, fell back to one I already serve" from a genuine upgrade.
+  Result<LoadedCheckpoint> LoadLatestValidGeneration() const;
+
   /// Absolute paths of the on-disk checkpoints, newest first.
   std::vector<std::string> ListCheckpoints() const;
 

@@ -34,6 +34,10 @@ namespace failpoint {
 ///   eth.from_csv      CsvLedger::FromCsv, before parsing begins
 ///   eth.materialize   eth::MaterializeInstance, before sampling
 ///   serve.score_cold  InferenceService cold path, before materialization
+///   train.epoch_end   Dbg4Eth training loop, after each epoch's snapshot
+///                     decision (simulates a crash at an epoch boundary)
+///   reload.validate   ModelRegistry, before the validation gate scores
+///                     the probe set (simulates a poisoned/failed reload)
 ///   pool.task         ThreadPool worker, before running a task
 ///                     (sleep-only site: injected errors are ignored)
 struct Spec {

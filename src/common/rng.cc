@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/serialize.h"
+#include "common/status.h"
+
 namespace dbg4eth {
 
 namespace {
@@ -125,5 +128,39 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+RngState Rng::State() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
+void WriteRngState(BinaryWriter* writer, const Rng& rng) {
+  const RngState state = rng.State();
+  writer->WriteString("rng_state");
+  for (uint64_t word : state.s) writer->WriteU64(word);
+  writer->WriteBool(state.has_cached_normal);
+  writer->WriteDouble(state.cached_normal);
+}
+
+Status ReadRngState(BinaryReader* reader, Rng* rng) {
+  DBG4ETH_RETURN_NOT_OK(reader->ExpectTag("rng_state"));
+  RngState state;
+  for (uint64_t& word : state.s) {
+    DBG4ETH_RETURN_NOT_OK(reader->ReadU64(&word));
+  }
+  DBG4ETH_RETURN_NOT_OK(reader->ReadBool(&state.has_cached_normal));
+  DBG4ETH_RETURN_NOT_OK(reader->ReadDouble(&state.cached_normal));
+  rng->SetState(state);
+  return Status::OK();
+}
 
 }  // namespace dbg4eth

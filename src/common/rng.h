@@ -1,10 +1,26 @@
 #ifndef DBG4ETH_COMMON_RNG_H_
 #define DBG4ETH_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace dbg4eth {
+
+class BinaryReader;
+class BinaryWriter;
+class Status;
+
+/// \brief Complete generator state of an Rng: the four xoshiro256** words
+/// plus the Box-Muller normal cache. Restoring an exported state resumes
+/// the stream bit-identically — including a pending cached normal, so a
+/// snapshot taken between the two halves of a Box-Muller draw still
+/// replays exactly.
+struct RngState {
+  std::array<uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// \brief Deterministic pseudo-random number generator.
 ///
@@ -69,11 +85,24 @@ class Rng {
   /// Derives an independent child generator (for parallel streams).
   Rng Fork();
 
+  /// Exports the full generator state (see RngState).
+  RngState State() const;
+
+  /// Restores a state exported with State(); the subsequent draw sequence
+  /// is bit-identical to the generator the state was taken from.
+  void SetState(const RngState& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+/// Serializes the generator state (for training-resume checkpoints).
+void WriteRngState(BinaryWriter* writer, const Rng& rng);
+
+/// Restores a state written by WriteRngState into `rng`.
+Status ReadRngState(BinaryReader* reader, Rng* rng);
 
 }  // namespace dbg4eth
 

@@ -1,14 +1,18 @@
 #include "core/dbg4eth.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "common/checkpoint_store.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/serialize.h"
 #include "ml/ensemble.h"
 #include "ml/mlp.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/inference.h"
 #include "tensor/serialize.h"
@@ -100,20 +104,42 @@ std::vector<double> Dbg4Eth::HeadFeatures(
 
 Status Dbg4Eth::Train(eth::SubgraphDataset* dataset,
                       const ml::SplitIndices& split) {
+  TrainSnapshotOptions options;  // No store, no budget: plain training.
+  DBG4ETH_ASSIGN_OR_RETURN(const TrainProgress progress,
+                           TrainWithSnapshots(dataset, split, options));
+  DBG4ETH_CHECK(progress == TrainProgress::kComplete);
+  return Status::OK();
+}
+
+Result<TrainProgress> Dbg4Eth::TrainWithSnapshots(
+    eth::SubgraphDataset* dataset, const ml::SplitIndices& split,
+    const TrainSnapshotOptions& options) {
   if (split.train.empty() || split.val.empty()) {
     return Status::InvalidArgument("train and val splits must be non-empty");
   }
   eth::StandardizeDataset(dataset, split.train, &normalizer_);
+  return RunTrainLoop(dataset, split, options, /*resume=*/nullptr);
+}
 
-  // Stage 2: branch encoders.
+Result<TrainProgress> Dbg4Eth::RunTrainLoop(eth::SubgraphDataset* dataset,
+                                            const ml::SplitIndices& split,
+                                            const TrainSnapshotOptions& options,
+                                            BinaryReader* resume) {
+  // Stage 2: branch encoders, driven epoch by epoch through their
+  // TrainSessions so the loop can snapshot durably and stop at every
+  // epoch boundary.
   std::vector<int> encoder_indices = split.train;
   if (config_.encoders_use_validation) {
     encoder_indices.insert(encoder_indices.end(), split.val.begin(),
                            split.val.end());
   }
+  std::optional<GsgEncoder::TrainSession> gsg_session;
+  std::optional<LdgEncoder::TrainSession> ldg_session;
   if (config_.use_gsg) {
     gsg_ = std::make_unique<GsgEncoder>(config_.gsg);
-    DBG4ETH_RETURN_NOT_OK(gsg_->Train(*dataset, encoder_indices));
+    DBG4ETH_RETURN_NOT_OK(
+        gsg_->ValidateTrainingInputs(*dataset, encoder_indices));
+    gsg_session.emplace(gsg_.get(), dataset, encoder_indices);
   }
   if (config_.use_ldg) {
     if (!dataset->instances.empty()) {
@@ -123,7 +149,68 @@ Status Dbg4Eth::Train(eth::SubgraphDataset* dataset,
           static_cast<int>(dataset->instances.front().ldg.size());
     }
     ldg_ = std::make_unique<LdgEncoder>(config_.ldg);
-    DBG4ETH_RETURN_NOT_OK(ldg_->Train(*dataset, encoder_indices));
+    DBG4ETH_RETURN_NOT_OK(
+        ldg_->ValidateTrainingInputs(*dataset, encoder_indices));
+    ldg_session.emplace(ldg_.get(), dataset, encoder_indices);
+  }
+  if (resume != nullptr) {
+    // Overwrite the freshly initialized parameters and session state with
+    // the snapshot; the RNG streams come along, so the first resumed epoch
+    // draws exactly what the next uninterrupted epoch would have drawn.
+    if (config_.use_gsg) {
+      std::vector<ag::Tensor> params = gsg_->Parameters();
+      DBG4ETH_RETURN_NOT_OK(ag::ReadParameters(resume, &params));
+      DBG4ETH_RETURN_NOT_OK(gsg_session->LoadState(resume));
+    }
+    if (config_.use_ldg) {
+      std::vector<ag::Tensor> params = ldg_->Parameters();
+      DBG4ETH_RETURN_NOT_OK(ag::ReadParameters(resume, &params));
+      DBG4ETH_RETURN_NOT_OK(ldg_session->LoadState(resume));
+    }
+    DBG4ETH_RETURN_NOT_OK(resume->ExpectTag("end"));
+  }
+
+  static obs::Counter* snapshots_total =
+      obs::MetricsRegistry::Global()->CounterAt(
+          "train_snapshots_total",
+          "Durable TrainState snapshots committed by the training loop");
+
+  int epochs_this_run = 0;
+  // Runs after every completed epoch: maybe snapshot, then report whether
+  // the per-run budget forces a preemption stop.
+  auto epoch_boundary = [&]() -> Result<bool> {
+    ++epochs_this_run;
+    const bool preempt = options.max_epochs_this_run > 0 &&
+                         epochs_this_run >= options.max_epochs_this_run;
+    if (options.store != nullptr) {
+      const int total_done = (gsg_session ? gsg_session->epoch() : 0) +
+                             (ldg_session ? ldg_session->epoch() : 0);
+      const int cadence = std::max(1, options.snapshot_every_epochs);
+      if (preempt || total_done % cadence == 0) {
+        DBG4ETH_ASSIGN_OR_RETURN(
+            const std::string path,
+            options.store->Save([&](std::ostream* os) {
+              return WriteTrainState(
+                  os, split, gsg_session ? &*gsg_session : nullptr,
+                  ldg_session ? &*ldg_session : nullptr);
+            }));
+        (void)path;
+        snapshots_total->Inc();
+      }
+    }
+    DBG4ETH_FAIL_POINT("train.epoch_end");
+    return preempt;
+  };
+
+  while (gsg_session && !gsg_session->done()) {
+    DBG4ETH_RETURN_NOT_OK(gsg_session->RunEpoch());
+    DBG4ETH_ASSIGN_OR_RETURN(const bool preempt, epoch_boundary());
+    if (preempt) return TrainProgress::kPreempted;
+  }
+  while (ldg_session && !ldg_session->done()) {
+    DBG4ETH_RETURN_NOT_OK(ldg_session->RunEpoch());
+    DBG4ETH_ASSIGN_OR_RETURN(const bool preempt, epoch_boundary());
+    if (preempt) return TrainProgress::kPreempted;
   }
 
   // Stage 3a: confidence generation — scale raw branch scores by their
@@ -187,7 +274,7 @@ Status Dbg4Eth::Train(eth::SubgraphDataset* dataset,
     trained_ = false;
     return head_status;
   }
-  return Status::OK();
+  return TrainProgress::kComplete;
 }
 
 ml::GbdtConfig Dbg4Eth::AdjustedGbdt(int num_samples) const {
@@ -367,7 +454,168 @@ Status ReadConfig(BinaryReader* r, Dbg4EthConfig* c) {
   return r->ReadU64(&c->seed);
 }
 
+constexpr uint32_t kTrainStateVersion = 1;
+
+/// Training hyperparameters that shape the epoch loop but are not part of
+/// the serving checkpoint's architecture block. A TrainState records them
+/// so a resume under a different schedule is rejected instead of silently
+/// diverging. num_threads is deliberately absent: the data-parallel
+/// trainers are bit-identical for every thread count.
+void WriteTrainHparams(BinaryWriter* w, const Dbg4EthConfig& c) {
+  w->WriteString("train_hparams");
+  w->WriteI32(c.gsg.epochs);
+  w->WriteDouble(c.gsg.learning_rate);
+  w->WriteI32(c.gsg.batch_size);
+  w->WriteDouble(c.gsg.grad_clip);
+  w->WriteI32(c.ldg.epochs);
+  w->WriteDouble(c.ldg.learning_rate);
+  w->WriteI32(c.ldg.batch_size);
+  w->WriteDouble(c.ldg.grad_clip);
+  w->WriteBool(c.encoders_use_validation);
+}
+
+Status ReadTrainHparams(BinaryReader* r, Dbg4EthConfig* c) {
+  DBG4ETH_RETURN_NOT_OK(r->ExpectTag("train_hparams"));
+  DBG4ETH_RETURN_NOT_OK(r->ReadI32(&c->gsg.epochs));
+  DBG4ETH_RETURN_NOT_OK(r->ReadDouble(&c->gsg.learning_rate));
+  DBG4ETH_RETURN_NOT_OK(r->ReadI32(&c->gsg.batch_size));
+  DBG4ETH_RETURN_NOT_OK(r->ReadDouble(&c->gsg.grad_clip));
+  DBG4ETH_RETURN_NOT_OK(r->ReadI32(&c->ldg.epochs));
+  DBG4ETH_RETURN_NOT_OK(r->ReadDouble(&c->ldg.learning_rate));
+  DBG4ETH_RETURN_NOT_OK(r->ReadI32(&c->ldg.batch_size));
+  DBG4ETH_RETURN_NOT_OK(r->ReadDouble(&c->ldg.grad_clip));
+  return r->ReadBool(&c->encoders_use_validation);
+}
+
+Status CheckResumeCompatible(const Dbg4EthConfig& live,
+                             const Dbg4EthConfig& snap) {
+  const bool same =
+      live.use_gsg == snap.use_gsg && live.use_ldg == snap.use_ldg &&
+      live.use_calibration == snap.use_calibration &&
+      live.encoders_use_validation == snap.encoders_use_validation &&
+      live.head == snap.head && live.seed == snap.seed &&
+      live.gsg.node_feature_dim == snap.gsg.node_feature_dim &&
+      live.gsg.hidden_dim == snap.gsg.hidden_dim &&
+      live.gsg.num_gat_layers == snap.gsg.num_gat_layers &&
+      live.gsg.num_heads == snap.gsg.num_heads &&
+      live.gsg.num_classes == snap.gsg.num_classes &&
+      live.gsg.dropout == snap.gsg.dropout &&
+      live.gsg.use_contrastive == snap.gsg.use_contrastive &&
+      live.gsg.contrastive_weight == snap.gsg.contrastive_weight &&
+      live.gsg.temperature == snap.gsg.temperature &&
+      live.gsg.seed == snap.gsg.seed && live.gsg.epochs == snap.gsg.epochs &&
+      live.gsg.learning_rate == snap.gsg.learning_rate &&
+      live.gsg.batch_size == snap.gsg.batch_size &&
+      live.gsg.grad_clip == snap.gsg.grad_clip &&
+      live.ldg.node_feature_dim == snap.ldg.node_feature_dim &&
+      live.ldg.hidden_dim == snap.ldg.hidden_dim &&
+      live.ldg.num_time_slices == snap.ldg.num_time_slices &&
+      live.ldg.num_pooling_layers == snap.ldg.num_pooling_layers &&
+      live.ldg.first_level_clusters == snap.ldg.first_level_clusters &&
+      live.ldg.num_classes == snap.ldg.num_classes &&
+      live.ldg.seed == snap.ldg.seed && live.ldg.epochs == snap.ldg.epochs &&
+      live.ldg.learning_rate == snap.ldg.learning_rate &&
+      live.ldg.batch_size == snap.ldg.batch_size &&
+      live.ldg.grad_clip == snap.ldg.grad_clip;
+  if (!same) {
+    return Status::InvalidArgument(
+        "training snapshot was taken under a different model or training "
+        "configuration; resume with the exact configuration of the "
+        "preempted run (only num_threads may differ)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Status Dbg4Eth::WriteTrainState(
+    std::ostream* os, const ml::SplitIndices& split,
+    const GsgEncoder::TrainSession* gsg_session,
+    const LdgEncoder::TrainSession* ldg_session) const {
+  BinaryWriter writer(os);
+  writer.WriteString("dbg4eth_train_state");
+  writer.WriteU32(kTrainStateVersion);
+  WriteConfig(&writer, config_);
+  WriteTrainHparams(&writer, config_);
+  writer.WriteString("split");
+  writer.WriteIntVector(split.train);
+  writer.WriteIntVector(split.val);
+  writer.WriteIntVector(split.test);
+  writer.WriteDoubleVector(normalizer_.means());
+  writer.WriteDoubleVector(normalizer_.stds());
+  if (config_.use_gsg) {
+    ag::WriteParameters(&writer, gsg_->Parameters());
+    gsg_session->SaveState(&writer);
+  }
+  if (config_.use_ldg) {
+    ag::WriteParameters(&writer, ldg_->Parameters());
+    ldg_session->SaveState(&writer);
+  }
+  writer.WriteString("end");
+  if (!writer.ok()) return Status::Internal("training snapshot write failed");
+  return Status::OK();
+}
+
+Result<TrainProgress> Dbg4Eth::ResumeTrain(eth::SubgraphDataset* dataset,
+                                           const TrainSnapshotOptions& options) {
+  if (options.store == nullptr) {
+    return Status::InvalidArgument("ResumeTrain requires a checkpoint store");
+  }
+  DBG4ETH_ASSIGN_OR_RETURN(std::string payload,
+                           options.store->LoadLatestValid());
+  std::istringstream body(payload);
+  BinaryReader reader(&body);
+  DBG4ETH_RETURN_NOT_OK(reader.ExpectTag("dbg4eth_train_state"));
+  uint32_t version = 0;
+  DBG4ETH_RETURN_NOT_OK(reader.ReadU32(&version));
+  if (version != kTrainStateVersion) {
+    return Status::InvalidArgument("unsupported training snapshot version");
+  }
+  // Start from the live config so fields a TrainState does not carry
+  // (gbdt, calibration, fractions) keep the caller's values when compared.
+  Dbg4EthConfig snap = config_;
+  DBG4ETH_RETURN_NOT_OK(ReadConfig(&reader, &snap));
+  DBG4ETH_RETURN_NOT_OK(ReadTrainHparams(&reader, &snap));
+  // Sync the live slice count from the dataset exactly as a fresh Train
+  // would before comparing — the snapshot stores the synced value.
+  if (config_.use_ldg && !dataset->instances.empty()) {
+    config_.ldg.num_time_slices =
+        static_cast<int>(dataset->instances.front().ldg.size());
+  }
+  DBG4ETH_RETURN_NOT_OK(CheckResumeCompatible(config_, snap));
+
+  ml::SplitIndices split;
+  DBG4ETH_RETURN_NOT_OK(reader.ExpectTag("split"));
+  DBG4ETH_RETURN_NOT_OK(reader.ReadIntVector(&split.train));
+  DBG4ETH_RETURN_NOT_OK(reader.ReadIntVector(&split.val));
+  DBG4ETH_RETURN_NOT_OK(reader.ReadIntVector(&split.test));
+  if (split.train.empty() || split.val.empty()) {
+    return Status::DataLoss("training snapshot holds an empty split");
+  }
+  const int n = static_cast<int>(dataset->instances.size());
+  for (const std::vector<int>* part : {&split.train, &split.val, &split.test}) {
+    for (int idx : *part) {
+      if (idx < 0 || idx >= n) {
+        return Status::InvalidArgument(
+            "training snapshot split indexes past this dataset; resume with "
+            "the dataset the preempted run trained on");
+      }
+    }
+  }
+
+  std::vector<double> means, stds;
+  DBG4ETH_RETURN_NOT_OK(reader.ReadDoubleVector(&means));
+  DBG4ETH_RETURN_NOT_OK(reader.ReadDoubleVector(&stds));
+  normalizer_.Restore(means, stds);
+  // The snapshot was taken against the standardized dataset; the caller
+  // hands the raw one (re-materialized after the crash). Standardize with
+  // the restored statistics — not refit — so resumed epochs see inputs
+  // bit-identical to the preempted run's.
+  for (eth::GraphInstance& inst : dataset->instances) {
+    eth::StandardizeInstance(normalizer_, &inst);
+  }
+  return RunTrainLoop(dataset, split, options, &reader);
+}
 
 Status Dbg4Eth::Save(std::ostream* os) const {
   if (!trained_) {

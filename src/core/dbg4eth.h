@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "calib/adaptive.h"
+#include "common/checkpoint_store.h"
 #include "common/result.h"
 #include "core/gsg_encoder.h"
 #include "core/ldg_encoder.h"
@@ -45,6 +46,29 @@ struct Dbg4EthConfig {
   uint64_t seed = 7;
 };
 
+/// Outcome of a budgeted resumable training call.
+enum class TrainProgress {
+  kComplete,   ///< All stages finished; the model is ready to serve.
+  kPreempted,  ///< Epoch budget ran out; state was snapshotted for resume.
+};
+
+/// \brief Durability and preemption knobs for resumable training.
+struct TrainSnapshotOptions {
+  /// Destination of the durable TrainState snapshots (model parameters,
+  /// optimizer moments, RNG streams, shuffle orders, split indices).
+  /// Null disables snapshotting — plain uninterruptible training.
+  CheckpointStore* store = nullptr;
+  /// Snapshot cadence, counted in completed encoder epochs (GSG and LDG
+  /// epochs both count). Values < 1 behave as 1.
+  int snapshot_every_epochs = 1;
+  /// Preemption budget: once this many epochs have run in THIS call, the
+  /// loop snapshots and returns kPreempted at the epoch boundary — a
+  /// fixed-allocation (SLURM-style) stop, taken even when the budgeted
+  /// epoch was the last one (the follow-up ResumeTrain then only re-runs
+  /// the cheap deterministic post-encoder stages). <= 0 means unlimited.
+  int max_epochs_this_run = 0;
+};
+
 /// \brief Evaluation output of one train/evaluate run.
 struct EvaluationReport {
   ml::BinaryMetrics metrics;
@@ -71,8 +95,38 @@ class Dbg4Eth {
 
   /// Trains encoders on the train split, fits calibrators and the head on
   /// the validation split. The dataset is standardized in place using the
-  /// train split statistics.
+  /// train split statistics. Equivalent to TrainWithSnapshots with default
+  /// options (no snapshots, unlimited budget).
   Status Train(eth::SubgraphDataset* dataset, const ml::SplitIndices& split);
+
+  /// \brief Crash-safe training: the Train pipeline run as a resumable
+  /// epoch loop.
+  ///
+  /// Every `snapshot_every_epochs` completed encoder epochs (and always at
+  /// a preemption stop) a versioned TrainState frame — model parameters,
+  /// Adam moments and step counts, each encoder's full RNG stream, the
+  /// cumulative shuffle orders, the epoch indices, the split and the
+  /// feature normalizer — is committed durably through `options.store`.
+  /// A run killed at ANY epoch boundary and continued with ResumeTrain
+  /// produces a model bit-identical to an uninterrupted Train, for both
+  /// the sequential and data-parallel (num_threads > 1) trainers.
+  Result<TrainProgress> TrainWithSnapshots(eth::SubgraphDataset* dataset,
+                                           const ml::SplitIndices& split,
+                                           const TrainSnapshotOptions& options);
+
+  /// \brief Continues a preempted TrainWithSnapshots run from the newest
+  /// valid snapshot in `options.store` (corrupt newest generations are
+  /// skipped).
+  ///
+  /// `dataset` must be the same dataset in its RAW form, exactly as it was
+  /// first passed to TrainWithSnapshots (after a crash the dataset is
+  /// re-materialized fresh); it is standardized here with the snapshot's
+  /// restored statistics, not refit. The model must be configured exactly
+  /// as the preempted run (validated against the snapshot; only
+  /// num_threads may differ — the trainers are bit-identical for every
+  /// thread count). The split is restored from the snapshot.
+  Result<TrainProgress> ResumeTrain(eth::SubgraphDataset* dataset,
+                                    const TrainSnapshotOptions& options);
 
   /// P(target class) for one instance. Requires Train. The instance must
   /// carry node features standardized with this model's statistics —
@@ -129,6 +183,19 @@ class Dbg4Eth {
   /// legacy-stream path of Load.
   Status SaveRaw(std::ostream* os) const;
   static Result<std::unique_ptr<Dbg4Eth>> LoadRaw(std::istream* is);
+
+  /// The epoch-granular training loop behind Train / TrainWithSnapshots /
+  /// ResumeTrain. When `resume` is non-null it is positioned at the
+  /// per-encoder state of a TrainState frame and restored before looping.
+  Result<TrainProgress> RunTrainLoop(eth::SubgraphDataset* dataset,
+                                     const ml::SplitIndices& split,
+                                     const TrainSnapshotOptions& options,
+                                     BinaryReader* resume);
+
+  /// Serializes one TrainState frame (see TrainWithSnapshots).
+  Status WriteTrainState(std::ostream* os, const ml::SplitIndices& split,
+                         const GsgEncoder::TrainSession* gsg_session,
+                         const LdgEncoder::TrainSession* ldg_session) const;
 
   struct BranchScaler {
     double mean = 0.0;

@@ -5,13 +5,16 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "eth/dataset.h"
 #include "gnn/conv.h"
 #include "gnn/diffpool.h"
 #include "gnn/gru.h"
 #include "gnn/linear.h"
 #include "graph/graph.h"
+#include "tensor/optimizer.h"
 
 namespace dbg4eth {
 namespace core {
@@ -73,6 +76,50 @@ class LdgEncoder {
   /// score is bit-identical to PredictScore(*instances[i]).
   std::vector<double> PredictScoreBatch(
       const std::vector<const std::vector<graph::Graph>*>& instances) const;
+
+  /// \brief Epoch-granular resumable training session; the LDG twin of
+  /// GsgEncoder::TrainSession (cumulative shuffle order, Adam moments,
+  /// worker pool). Stop at any epoch boundary, SaveState, resume
+  /// bit-identically.
+  class TrainSession {
+   public:
+    TrainSession(LdgEncoder* encoder, const eth::SubgraphDataset* dataset,
+                 std::vector<int> train_indices);
+    ~TrainSession();
+
+    TrainSession(const TrainSession&) = delete;
+    TrainSession& operator=(const TrainSession&) = delete;
+
+    /// Runs one epoch: shuffle, then one clipped Adam step per batch.
+    Status RunEpoch();
+
+    /// True once the configured number of epochs has completed.
+    bool done() const;
+
+    /// Completed epochs.
+    int epoch() const { return epoch_; }
+
+    /// Serializes the session state (not the encoder parameter values —
+    /// snapshot those alongside with ag::WriteParameters).
+    void SaveState(BinaryWriter* writer) const;
+
+    /// Restores state written by SaveState; errors leave the session
+    /// untouched.
+    Status LoadState(BinaryReader* reader);
+
+   private:
+    LdgEncoder* encoder_;
+    const eth::SubgraphDataset* dataset_;
+    std::vector<int> order_;
+    ag::Adam opt_;
+    std::unique_ptr<ThreadPool> pool_;
+    int epoch_ = 0;
+  };
+
+  /// Checks that `dataset`/`train_indices` can train this encoder
+  /// (non-empty split, matching time-slice count).
+  Status ValidateTrainingInputs(const eth::SubgraphDataset& dataset,
+                                const std::vector<int>& train_indices) const;
 
   Status Train(const eth::SubgraphDataset& dataset,
                const std::vector<int>& train_indices);

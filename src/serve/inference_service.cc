@@ -110,6 +110,25 @@ InferenceService::InferenceService(const InferenceServiceConfig& config,
 
 InferenceService::~InferenceService() { Shutdown(); }
 
+InferenceService::ModelRef InferenceService::SnapshotModel() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return {model_, model_generation_.load()};
+}
+
+void InferenceService::SwapModel(std::shared_ptr<const core::Dbg4Eth> model,
+                                 uint64_t generation) {
+  DBG4ETH_CHECK(model != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model_ = std::move(model);
+    model_generation_.store(generation);
+  }
+  // Cached scores are keyed only by (address, height); every entry was
+  // produced by the replaced model. Dropping them also empties the stale
+  // corpus, so degraded-mode answers never cross a model boundary.
+  cache_.Clear();
+}
+
 void InferenceService::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (shutdown_.exchange(true)) return;
@@ -171,6 +190,7 @@ std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
     result.ledger_height = request.ledger_height;
     result.probability = *cached;
     result.cache_hit = true;
+    result.model_generation = model_generation_.load();
     result.latency_us = ElapsedUs(request.enqueue_time);
     stats_.RecordRequest(result.latency_us, /*cache_hit=*/true);
     request.promise->set_value(std::move(result));
@@ -244,6 +264,11 @@ void InferenceService::DispatchLoop() {
 }
 
 void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
+  // One model snapshot for the whole batch (RCU read side): a hot-swap
+  // landing mid-batch does not mix models within the batch, and the
+  // snapshot's shared_ptr keeps the old model alive until this batch is
+  // done with it.
+  const ModelRef ref = SnapshotModel();
   // Pass 1 — classify without materializing anything. Requests that can
   // resolve immediately (expired while queued, cache filled by a
   // concurrent batch) do so here; the rest are deduplicated into cold
@@ -296,6 +321,7 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
       cold.emplace(packed, std::vector<ScoreRequest*>{&request});
       continue;
     }
+    result.model_generation = ref.generation;
     result.latency_us = ElapsedUs(request.enqueue_time);
     stats_.RecordRequest(result.latency_us, result.cache_hit);
     request.promise->set_value(std::move(result));
@@ -309,12 +335,13 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
     for (uint64_t packed : cold_order) {
       const std::vector<ScoreRequest*>& group = cold[packed];
       int retries = 0;
-      Result<double> proba = ScoreColdWithRetry(*group.front(), &retries);
+      Result<double> proba =
+          ScoreColdWithRetry(*ref.model, *group.front(), &retries);
       if (!proba.ok()) {
         ResolveColdFailure(group, proba.status());
         continue;
       }
-      FinishColdGroup(group, proba.ValueOrDie(), retries);
+      FinishColdGroup(group, proba.ValueOrDie(), retries, ref.generation);
     }
     return;
   }
@@ -335,7 +362,7 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
     obs::TraceSpan span("score_cold");
     int group_retries = 0;
     Result<eth::GraphInstance> instance =
-        PrepareColdWithRetry(*group.front(), &group_retries);
+        PrepareColdWithRetry(*ref.model, *group.front(), &group_retries);
     span.End();
     if (!instance.ok()) {
       ResolveColdFailure(group, instance.status());
@@ -356,20 +383,20 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
   {
     obs::TraceSpan packed_span("packed_forward");
     obs::ScopedTimer forward_timer(FastpathForwardHistogram());
-    probs = model_->PredictProbaBatch(instance_ptrs);
+    probs = ref.model->PredictProbaBatch(instance_ptrs);
   }
   FastpathBatchesCounter()->Inc();
   FastpathBatchSizeHistogram()->Record(static_cast<double>(ready.size()));
   FastpathArenaGauge()->Set(static_cast<double>(
       ag::InferenceArena::ThreadLocal()->owned_bytes()));
   for (size_t i = 0; i < ready.size(); ++i) {
-    FinishColdGroup(cold[ready[i]], probs[i], retries[i]);
+    FinishColdGroup(cold[ready[i]], probs[i], retries[i], ref.generation);
   }
 }
 
 void InferenceService::FinishColdGroup(
-    const std::vector<ScoreRequest*>& group, double probability,
-    int retries) {
+    const std::vector<ScoreRequest*>& group, double probability, int retries,
+    uint64_t model_generation) {
   const ScoreRequest* rep = group.front();
   cache_.Put({rep->address, rep->ledger_height}, probability);
   bool first = true;
@@ -394,6 +421,7 @@ void InferenceService::FinishColdGroup(
     result.probability = probability;
     result.cache_hit = !first;  // Duplicates share the group's one pass.
     result.retries = first ? retries : 0;
+    result.model_generation = model_generation;
     result.latency_us = ElapsedUs(request->enqueue_time);
     stats_.RecordRequest(result.latency_us, result.cache_hit);
     request->promise->set_value(std::move(result));
@@ -422,7 +450,7 @@ void InferenceService::ResolveColdFailure(
 }
 
 Result<double> InferenceService::ScoreColdWithRetry(
-    const ScoreRequest& request, int* retries) {
+    const core::Dbg4Eth& model, const ScoreRequest& request, int* retries) {
   *retries = 0;
   for (;;) {
     // Pre-score deadline check: each attempt (first or retry) is skipped
@@ -430,7 +458,7 @@ Result<double> InferenceService::ScoreColdWithRetry(
     if (request.expired(std::chrono::steady_clock::now())) {
       return Status::DeadlineExceeded("deadline expired before scoring");
     }
-    Result<double> proba = ScoreCold(request.address);
+    Result<double> proba = ScoreCold(model, request.address);
     if (proba.ok() || !proba.status().IsTransient() ||
         *retries >= config_.max_cold_retries) {
       return proba;
@@ -463,6 +491,9 @@ bool InferenceService::TryServeStale(const ScoreRequest& request) {
   result.ledger_height = stale->height;  // Height the score is valid at.
   result.probability = stale->probability;
   result.stale = true;
+  // SwapModel clears the cache, so the stale corpus never outlives the
+  // model that produced it — the current generation is the right label.
+  result.model_generation = model_generation_.load();
   result.latency_us = ElapsedUs(request.enqueue_time);
   stats_.RecordStaleServed(result.latency_us);
   request.promise->set_value(std::move(result));
@@ -480,18 +511,20 @@ void InferenceService::ResolveError(const ScoreRequest& request,
   request.promise->set_value(std::move(result));
 }
 
-Result<double> InferenceService::ScoreCold(eth::AccountId address) const {
+Result<double> InferenceService::ScoreCold(const core::Dbg4Eth& model,
+                                           eth::AccountId address) const {
   // Root of the cold-request timing tree: materialize (sample_subgraph,
   // build_graphs, node_features), normalize, then the forward stages
   // emitted inside PredictProba (gsg_forward, calibrate, ldg_forward,
   // gbdt). See DESIGN.md "Observability".
   obs::TraceSpan span("score_cold");
-  DBG4ETH_ASSIGN_OR_RETURN(eth::GraphInstance instance, PrepareCold(address));
-  return model_->PredictProba(instance);
+  DBG4ETH_ASSIGN_OR_RETURN(eth::GraphInstance instance,
+                           PrepareCold(model, address));
+  return model.PredictProba(instance);
 }
 
 Result<eth::GraphInstance> InferenceService::PrepareCold(
-    eth::AccountId address) const {
+    const core::Dbg4Eth& model, eth::AccountId address) const {
   DBG4ETH_FAIL_POINT("serve.score_cold");
   DBG4ETH_ASSIGN_OR_RETURN(
       eth::GraphInstance instance,
@@ -499,13 +532,13 @@ Result<eth::GraphInstance> InferenceService::PrepareCold(
                                config_.num_time_slices));
   {
     obs::TraceSpan normalize_span("normalize");
-    model_->Normalize(&instance);
+    model.Normalize(&instance);
   }
   return instance;
 }
 
 Result<eth::GraphInstance> InferenceService::PrepareColdWithRetry(
-    const ScoreRequest& request, int* retries) {
+    const core::Dbg4Eth& model, const ScoreRequest& request, int* retries) {
   // Same loop as ScoreColdWithRetry, retrying preparation (the fail point
   // and materialization live there) instead of the full score.
   *retries = 0;
@@ -513,7 +546,7 @@ Result<eth::GraphInstance> InferenceService::PrepareColdWithRetry(
     if (request.expired(std::chrono::steady_clock::now())) {
       return Status::DeadlineExceeded("deadline expired before scoring");
     }
-    Result<eth::GraphInstance> instance = PrepareCold(request.address);
+    Result<eth::GraphInstance> instance = PrepareCold(model, request.address);
     if (instance.ok() || !instance.status().IsTransient() ||
         *retries >= config_.max_cold_retries) {
       return instance;

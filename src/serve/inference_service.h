@@ -81,11 +81,16 @@ struct InferenceServiceConfig {
 /// statistics, run the double-graph forward pass, fill the cache and
 /// resolve the promises. Every outcome is recorded in ServerStats.
 ///
-/// Thread safety: the loaded model is only read after construction;
-/// Dbg4Eth::PredictProba / Normalize are const and race-free, so any
-/// number of workers score concurrently. The ledger must outlive the
-/// service and be immutable while it runs (bump via RefreshLedgerHeight
-/// after appending transactions).
+/// Thread safety: the service holds the model as a
+/// `shared_ptr<const Dbg4Eth>` behind a mutex; each worker batch takes one
+/// snapshot of that pointer and scores through it — Dbg4Eth::PredictProba /
+/// Normalize are const and race-free, so any number of workers score
+/// concurrently. `SwapModel` (wired to ModelRegistry's swap callback)
+/// RCU-swaps the pointer: batches already dispatched finish on the model
+/// they snapshotted, new batches see the new model, and the old model is
+/// freed when its last in-flight batch drops its reference. The ledger
+/// must outlive the service and be immutable while it runs (bump via
+/// RefreshLedgerHeight after appending transactions).
 class InferenceService {
  public:
   /// Restores the model from a checkpoint stream (Dbg4Eth::Save format)
@@ -119,6 +124,21 @@ class InferenceService {
   /// Blocking convenience wrapper around ScoreAsync.
   ScoreResult Score(eth::AccountId address);
 
+  /// \brief Zero-downtime model hot-swap (RCU style).
+  ///
+  /// Installs `model` as the serving model for every batch dispatched
+  /// after the swap; batches already in flight keep the snapshot they
+  /// took and finish on the old model, which is freed when the last such
+  /// batch completes. The result cache is cleared — its entries are keyed
+  /// only by (address, height) and belong to the replaced model. Safe to
+  /// call concurrently with scoring; typically wired to
+  /// ModelRegistry::SetSwapCallback.
+  void SwapModel(std::shared_ptr<const core::Dbg4Eth> model,
+                 uint64_t generation);
+
+  /// Checkpoint generation currently serving (0 until the first swap).
+  uint64_t model_generation() const { return model_generation_.load(); }
+
   /// Re-reads the ledger's transaction count. When it grew, subsequent
   /// requests key the cache at the new height (old entries can no longer
   /// be returned) and superseded entries are dropped eagerly.
@@ -140,27 +160,40 @@ class InferenceService {
   int num_workers() const { return workers_; }
 
  private:
+  /// One batch's immutable view of the serving model: the pointer pins
+  /// the model alive for the batch's whole lifetime (RCU read side).
+  struct ModelRef {
+    std::shared_ptr<const core::Dbg4Eth> model;
+    uint64_t generation = 0;
+  };
+  ModelRef SnapshotModel() const;
+
   void DispatchLoop();
   void ProcessBatch(std::vector<ScoreRequest>* batch);
-  /// Cold path: materialize + normalize + forward pass.
-  Result<double> ScoreCold(eth::AccountId address) const;
+  /// Cold path: materialize + normalize + forward pass through `model`.
+  Result<double> ScoreCold(const core::Dbg4Eth& model,
+                           eth::AccountId address) const;
   /// Cold path with the transient-failure retry loop around it; fills
   /// `retries` with the attempts beyond the first.
-  Result<double> ScoreColdWithRetry(const ScoreRequest& request,
+  Result<double> ScoreColdWithRetry(const core::Dbg4Eth& model,
+                                    const ScoreRequest& request,
                                     int* retries);
   /// Cold-path preparation only (fail point, materialize, normalize) —
   /// the forward pass is deferred so several prepared instances can share
   /// one packed forward.
-  Result<eth::GraphInstance> PrepareCold(eth::AccountId address) const;
+  Result<eth::GraphInstance> PrepareCold(const core::Dbg4Eth& model,
+                                         eth::AccountId address) const;
   /// PrepareCold with the same transient-failure retry loop as
   /// ScoreColdWithRetry.
-  Result<eth::GraphInstance> PrepareColdWithRetry(const ScoreRequest& request,
+  Result<eth::GraphInstance> PrepareColdWithRetry(const core::Dbg4Eth& model,
+                                                  const ScoreRequest& request,
                                                   int* retries);
   /// Resolves every request of one deduplicated cold group with the
   /// group's probability; `retries` belongs to the representative (first)
   /// request, duplicates count as in-batch cache hits.
   void FinishColdGroup(const std::vector<ScoreRequest*>& group,
-                       double probability, int retries);
+                       double probability, int retries,
+                       uint64_t model_generation);
   /// Resolves every request of a cold group whose scoring failed, with
   /// the per-status handling of the sequential path (deadline / stale
   /// fallback / error).
@@ -173,7 +206,12 @@ class InferenceService {
   void ResolveError(const ScoreRequest& request, Status status);
 
   InferenceServiceConfig config_;
-  std::unique_ptr<core::Dbg4Eth> model_;
+  /// Serving model (RCU write side): guarded by model_mu_; readers take a
+  /// shared_ptr copy per batch via SnapshotModel, writers re-point it in
+  /// SwapModel. Never null after construction.
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const core::Dbg4Eth> model_;
+  std::atomic<uint64_t> model_generation_{0};
   const eth::Ledger* ledger_;
   std::atomic<uint64_t> ledger_height_{0};
   ResultCache cache_;

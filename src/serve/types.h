@@ -27,6 +27,12 @@ struct ScoreResult {
   bool stale = false;
   /// Cold-path attempts beyond the first (transient failures retried).
   int retries = 0;
+  /// Checkpoint generation of the model that produced the score (0 until
+  /// the first hot-swap installs a generation — the construction-time
+  /// model has no checkpoint lineage). In-flight batches finish on the
+  /// model they started with, so after a swap a short tail of results may
+  /// still carry the previous generation.
+  uint64_t model_generation = 0;
   /// End-to-end latency (submit -> resolved), microseconds.
   double latency_us = 0.0;
   /// Non-OK when the address cannot be scored: unknown account or

@@ -1,8 +1,11 @@
 #include "tensor/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "tensor/serialize.h"
 
 namespace dbg4eth {
 namespace ag {
@@ -32,6 +35,14 @@ void Optimizer::ClipGradNorm(double max_norm) {
     if (!p.has_grad()) continue;
     p.node()->grad.ScaleInPlace(scale);
   }
+}
+
+void Optimizer::SaveState(BinaryWriter* writer) const {
+  writer->WriteString("opt_stateless");
+}
+
+Status Optimizer::LoadState(BinaryReader* reader) {
+  return reader->ExpectTag("opt_stateless");
 }
 
 Sgd::Sgd(std::vector<Tensor> params, double lr, double weight_decay)
@@ -89,6 +100,54 @@ void Adam::Step() {
       }
     }
   }
+}
+
+void Adam::SaveState(BinaryWriter* writer) const {
+  writer->WriteString("opt_adam");
+  writer->WriteU64(static_cast<uint64_t>(t_));
+  writer->WriteU32(static_cast<uint32_t>(m_.size()));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    WriteMatrix(writer, m_[i]);
+    WriteMatrix(writer, v_[i]);
+  }
+}
+
+Status Adam::LoadState(BinaryReader* reader) {
+  DBG4ETH_RETURN_NOT_OK(reader->ExpectTag("opt_adam"));
+  uint64_t t = 0;
+  DBG4ETH_RETURN_NOT_OK(reader->ReadU64(&t));
+  uint32_t count = 0;
+  DBG4ETH_RETURN_NOT_OK(reader->ReadU32(&count));
+  if (count != params_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "Adam state holds %u parameter slots, optimizer has %zu", count,
+        params_.size()));
+  }
+  // Everything is read and validated into temporaries first, so a corrupt
+  // or mismatched stream never leaves the optimizer half-restored.
+  std::vector<Matrix> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Matrix mi, vi;
+    DBG4ETH_RETURN_NOT_OK(ReadMatrix(reader, &mi));
+    DBG4ETH_RETURN_NOT_OK(ReadMatrix(reader, &vi));
+    const Matrix& value = params_[i].value();
+    if (mi.rows() != value.rows() || mi.cols() != value.cols() ||
+        vi.rows() != value.rows() || vi.cols() != value.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "Adam state shape mismatch at parameter %u: state %dx%d / %dx%d, "
+          "parameter %dx%d",
+          i, mi.rows(), mi.cols(), vi.rows(), vi.cols(), value.rows(),
+          value.cols()));
+    }
+    m.push_back(std::move(mi));
+    v.push_back(std::move(vi));
+  }
+  t_ = static_cast<int64_t>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 }  // namespace ag

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/serialize.h"
 #include "tensor/tensor.h"
 
 namespace dbg4eth {
@@ -25,6 +26,17 @@ class Optimizer {
 
   /// Rescales gradients so their global L2 norm is at most max_norm.
   void ClipGradNorm(double max_norm);
+
+  /// Serializes the optimizer's internal state (moments, step counter) for
+  /// training-resume checkpoints. Parameter *values* are not included —
+  /// checkpoint them separately (ag::WriteParameters). Stateless
+  /// optimizers write a tag only.
+  virtual void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState. The optimizer must be built over
+  /// an equally shaped parameter list; count or shape mismatches return a
+  /// clear error and leave the in-memory state untouched.
+  virtual Status LoadState(BinaryReader* reader);
 
   const std::vector<Tensor>& params() const { return params_; }
 
@@ -54,6 +66,12 @@ class Adam : public Optimizer {
        double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
 
   void Step() override;
+
+  /// First/second moments and the bias-correction step counter.
+  void SaveState(BinaryWriter* writer) const override;
+  Status LoadState(BinaryReader* reader) override;
+
+  int64_t step_count() const { return t_; }
 
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }

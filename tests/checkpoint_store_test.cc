@@ -211,6 +211,79 @@ TEST_F(CheckpointStoreTest, LoadLatestValidWalksPastCorruptGenerations) {
   EXPECT_EQ(store.LoadLatestValid().status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(CheckpointStoreTest, ListGenerationsReportsSequencesNewestFirst) {
+  auto opened = CheckpointStore::Open(Config());
+  ASSERT_TRUE(opened.ok());
+  auto& store = *opened.ValueOrDie();
+  EXPECT_TRUE(store.ListGenerations().empty());
+  EXPECT_EQ(store.LatestGeneration(), 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Save([i](std::ostream* os) {
+                       *os << "gen" << i;
+                       return Status::OK();
+                     })
+                    .ok());
+  }
+  const auto generations = store.ListGenerations();
+  ASSERT_EQ(generations.size(), 3u);
+  EXPECT_EQ(generations[0].sequence, 3u);
+  EXPECT_EQ(generations[1].sequence, 2u);
+  EXPECT_EQ(generations[2].sequence, 1u);
+  for (const auto& gen : generations) {
+    EXPECT_TRUE(fs::exists(gen.path)) << gen.path;
+  }
+  EXPECT_EQ(store.LatestGeneration(), 3u);
+
+  // Foreign files in the directory are not generations.
+  std::ofstream(dir_ / "notes.txt") << "not a checkpoint";
+  std::ofstream(dir_ / "ckpt-x.bin") << "bad sequence";
+  EXPECT_EQ(store.ListGenerations().size(), 3u);
+  EXPECT_EQ(store.LatestGeneration(), 3u);
+}
+
+TEST_F(CheckpointStoreTest, LoadLatestValidGenerationSkipsCorruptNewest) {
+  auto opened = CheckpointStore::Open(Config());
+  ASSERT_TRUE(opened.ok());
+  auto& store = *opened.ValueOrDie();
+  for (const std::string payload : {"old", "new"}) {
+    ASSERT_TRUE(store.Save([&payload](std::ostream* os) {
+                       *os << payload;
+                       return Status::OK();
+                     })
+                    .ok());
+  }
+
+  // Intact store: the loaded payload carries its generation metadata.
+  auto loaded = store.LoadLatestValidGeneration();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().sequence, 2u);
+  EXPECT_EQ(loaded.ValueOrDie().payload, "new");
+  EXPECT_TRUE(fs::exists(loaded.ValueOrDie().path));
+
+  // Corrupt the newest: the walk reports the generation it fell back to,
+  // which is how the reload watcher tells "fell back" from "upgrade".
+  const auto generations = store.ListGenerations();
+  ASSERT_EQ(generations.size(), 2u);
+  {
+    std::fstream f(generations.front().path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(17);  // Inside the payload region (16-byte header).
+    char c;
+    f.seekg(17);
+    f.get(c);
+    f.seekp(17);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  loaded = store.LoadLatestValidGeneration();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().sequence, 1u);
+  EXPECT_EQ(loaded.ValueOrDie().payload, "old");
+  // The directory scan still sees both files; only the payload walk
+  // knows the newest is bad.
+  EXPECT_EQ(store.LatestGeneration(), 2u);
+}
+
 TEST_F(CheckpointStoreTest, RetentionPrunesBeyondTheWindow) {
   auto opened = CheckpointStore::Open(Config(/*retain=*/2));
   ASSERT_TRUE(opened.ok());

@@ -18,6 +18,8 @@
 #include "ml/ensemble.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
 #include "tensor/serialize.h"
 
 namespace dbg4eth {
@@ -208,6 +210,122 @@ TEST(HeadSerializeTest, AdaBoostRoundTrips) {
 TEST(HeadSerializeTest, MlpRoundTrips) {
   ml::MlpClassifier original, restored;
   ExpectHeadRoundTrip(&original, &restored);
+}
+
+// --- Optimizer state (training-resume checkpoints) ---
+
+/// Runs `steps` Adam updates of minimize sum(x^2) over `params`.
+void RunQuadraticSteps(ag::Adam* opt, const std::vector<ag::Tensor>& params,
+                       int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    ag::Tensor loss;
+    for (const ag::Tensor& p : params) {
+      ag::Tensor term = ag::SumAll(ag::Mul(p, p));
+      loss = loss.defined() ? ag::Add(loss, term) : term;
+    }
+    loss.Backward();
+    opt->Step();
+  }
+}
+
+TEST(OptimizerStateTest, AdamRoundTripResumesBitIdentically) {
+  Rng rng(11);
+  std::vector<ag::Tensor> params_a = {
+      ag::Tensor::Parameter(Matrix::Random(3, 4, &rng)),
+      ag::Tensor::Parameter(Matrix::Random(2, 2, &rng))};
+  ag::Adam opt_a(params_a, 0.05);
+  RunQuadraticSteps(&opt_a, params_a, 3);
+
+  // Checkpoint: parameter values + optimizer moments and step counter.
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  ag::WriteParameters(&writer, params_a);
+  opt_a.SaveState(&writer);
+
+  // Fresh process: equally shaped params, state restored from the stream.
+  std::vector<ag::Tensor> params_b = {
+      ag::Tensor::Parameter(Matrix::Zeros(3, 4)),
+      ag::Tensor::Parameter(Matrix::Zeros(2, 2))};
+  BinaryReader reader(&stream);
+  ASSERT_TRUE(ag::ReadParameters(&reader, &params_b).ok());
+  ag::Adam opt_b(params_b, 0.05);
+  ASSERT_TRUE(opt_b.LoadState(&reader).ok());
+  EXPECT_EQ(opt_b.step_count(), opt_a.step_count());
+
+  // Both trajectories must now be bit-identical — Adam's moments and
+  // bias-correction counter are part of the update, so a zeroed restore
+  // would diverge on the very first step.
+  RunQuadraticSteps(&opt_a, params_a, 5);
+  RunQuadraticSteps(&opt_b, params_b, 5);
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_TRUE(AlmostEqual(params_a[i].value(), params_b[i].value(), 0.0))
+        << "param " << i << " diverged after resume";
+  }
+}
+
+TEST(OptimizerStateTest, AdamRejectsParameterCountMismatch) {
+  Rng rng(12);
+  std::vector<ag::Tensor> two = {
+      ag::Tensor::Parameter(Matrix::Random(2, 2, &rng)),
+      ag::Tensor::Parameter(Matrix::Random(2, 2, &rng))};
+  ag::Adam saved(two, 0.1);
+  RunQuadraticSteps(&saved, two, 1);
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  saved.SaveState(&writer);
+
+  std::vector<ag::Tensor> one = {
+      ag::Tensor::Parameter(Matrix::Random(2, 2, &rng))};
+  ag::Adam loaded(one, 0.1);
+  BinaryReader reader(&stream);
+  const Status st = loaded.LoadState(&reader);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.step_count(), 0);  // In-memory state untouched.
+}
+
+TEST(OptimizerStateTest, AdamRejectsShapeMismatchAndStaysUsable) {
+  Rng rng(13);
+  std::vector<ag::Tensor> small = {
+      ag::Tensor::Parameter(Matrix::Random(2, 3, &rng))};
+  ag::Adam saved(small, 0.1);
+  RunQuadraticSteps(&saved, small, 2);
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  saved.SaveState(&writer);
+
+  std::vector<ag::Tensor> big = {
+      ag::Tensor::Parameter(Matrix::Random(3, 3, &rng))};
+  ag::Adam loaded(big, 0.1);
+  BinaryReader reader(&stream);
+  const Status st = loaded.LoadState(&reader);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.step_count(), 0);
+  // The rejected load must not have corrupted the optimizer.
+  RunQuadraticSteps(&loaded, big, 1);
+  EXPECT_EQ(loaded.step_count(), 1);
+}
+
+TEST(OptimizerStateTest, StatelessSgdRoundTripsAndRejectsAdamState) {
+  Rng rng(14);
+  std::vector<ag::Tensor> params = {
+      ag::Tensor::Parameter(Matrix::Random(2, 2, &rng))};
+  ag::Sgd sgd(params, 0.1);
+  std::stringstream stream;
+  BinaryWriter writer(&stream);
+  sgd.SaveState(&writer);
+  BinaryReader reader(&stream);
+  EXPECT_TRUE(sgd.LoadState(&reader).ok());
+
+  // An Adam state is not a stateless-optimizer state.
+  std::stringstream adam_stream;
+  BinaryWriter adam_writer(&adam_stream);
+  ag::Adam adam(params, 0.1);
+  adam.SaveState(&adam_writer);
+  BinaryReader adam_reader(&adam_stream);
+  EXPECT_FALSE(sgd.LoadState(&adam_reader).ok());
 }
 
 TEST(ModelSerializeTest, FullDbg4EthRoundTrips) {

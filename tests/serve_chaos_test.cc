@@ -13,8 +13,12 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
+#include "common/checkpoint_store.h"
 #include "common/failpoint.h"
 #include "core/dbg4eth.h"
+#include "serve/model_registry.h"
 #include "eth/appendable_ledger.h"
 #include "eth/csv_ledger.h"
 #include "eth/dataset.h"
@@ -354,6 +358,273 @@ TEST_F(ServeChaosTest, ConcurrentChaosWithRacingShutdownReconciles) {
   EXPECT_EQ(stats.requests + stats.errors + stats.deadline_exceeded +
                 stats.shed,
             kTotal);
+}
+
+// --------------------------------------------------------------------------
+// Kill -> resume -> hot-reload chaos: crashes injected at the snapshot
+// write (`ckpt.write`), at the epoch boundary (`train.epoch_end`), and at
+// the reload validation gate (`reload.validate`). The tools/check.sh tsan
+// stage runs this suite with failpoints compiled in.
+// --------------------------------------------------------------------------
+
+class ResumeReloadChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (!failpoint::kCompiledIn) return;
+    eth::LedgerConfig lc;
+    lc.num_normal = 400;
+    lc.num_exchange = 12;
+    lc.num_ico_wallet = 8;
+    lc.num_mining = 6;
+    lc.num_phish_hack = 12;
+    lc.num_bridge = 6;
+    lc.num_defi = 6;
+    lc.duration_days = 90.0;
+    lc.seed = 177;
+    ledger_ = new eth::LedgerSimulator(lc);
+    ASSERT_TRUE(ledger_->Generate().ok());
+
+    eth::DatasetConfig dc;
+    dc.target = eth::AccountClass::kExchange;
+    dc.max_positives = 10;
+    dc.sampling.top_k = 4;
+    dc.sampling.max_nodes = 30;
+    dc.num_time_slices = 4;
+    dc.seed = 5;
+    auto built = eth::BuildDataset(*ledger_, dc);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    raw_dataset_ = new eth::SubgraphDataset(std::move(built).ValueOrDie());
+
+    Rng split_rng(123);
+    split_ = new ml::SplitIndices(
+        ml::StratifiedSplit(raw_dataset_->labels(), 0.6, 0.2, &split_rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete split_;
+    split_ = nullptr;
+    delete raw_dataset_;
+    raw_dataset_ = nullptr;
+    delete ledger_;
+    ledger_ = nullptr;
+  }
+
+  void SetUp() override {
+    SKIP_WITHOUT_FAILPOINTS();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           (std::string("dbg4eth_chaos_") + info->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    failpoint::DisableAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static core::Dbg4EthConfig TinyConfig() {
+    core::Dbg4EthConfig config;
+    config.gsg.hidden_dim = 12;
+    config.gsg.num_heads = 2;
+    config.gsg.epochs = 3;
+    config.gsg.batch_size = 8;
+    config.ldg.hidden_dim = 12;
+    config.ldg.num_time_slices = 4;
+    config.ldg.first_level_clusters = 4;
+    config.ldg.epochs = 2;
+    config.gbdt.num_trees = 10;
+    config.gbdt.tree.min_samples_leaf = 2;
+    return config;
+  }
+
+  CheckpointStoreConfig StoreConfig() {
+    CheckpointStoreConfig config;
+    config.directory = dir_.string();
+    config.retain = 50;
+    config.sync = false;
+    return config;
+  }
+
+  static std::string SaveBytes(const core::Dbg4Eth& model) {
+    std::ostringstream os;
+    EXPECT_TRUE(model.Save(&os).ok());
+    return os.str();
+  }
+
+  static std::string UninterruptedBytes() {
+    eth::SubgraphDataset ds = *raw_dataset_;
+    core::Dbg4Eth model(TinyConfig());
+    Status st = model.Train(&ds, *split_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return SaveBytes(model);
+  }
+
+  static eth::LedgerSimulator* ledger_;
+  static eth::SubgraphDataset* raw_dataset_;
+  static ml::SplitIndices* split_;
+  std::filesystem::path dir_;
+};
+
+eth::LedgerSimulator* ResumeReloadChaosTest::ledger_ = nullptr;
+eth::SubgraphDataset* ResumeReloadChaosTest::raw_dataset_ = nullptr;
+ml::SplitIndices* ResumeReloadChaosTest::split_ = nullptr;
+
+// A crash while the snapshot itself is being written: the failed Save
+// surfaces as a training error (the process would have died), earlier
+// generations survive untouched (atomic tmp -> rename), and resuming
+// from them reproduces the uninterrupted model bit for bit.
+TEST_F(ResumeReloadChaosTest, KillDuringSnapshotWriteThenResume) {
+  const std::string reference = UninterruptedBytes();
+  auto store = CheckpointStore::Open(StoreConfig());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  core::TrainSnapshotOptions options;
+  options.store = store.ValueOrDie().get();
+  options.snapshot_every_epochs = 1;
+  {
+    // Snapshots 1 and 2 commit; the third write dies mid-save.
+    ASSERT_TRUE(
+        failpoint::Enable("ckpt.write",
+                          failpoint::AfterN(2, StatusCode::kDataLoss))
+            .ok());
+    eth::SubgraphDataset ds = *raw_dataset_;
+    core::Dbg4Eth crashed(TinyConfig());
+    auto progress = crashed.TrainWithSnapshots(&ds, *split_, options);
+    ASSERT_FALSE(progress.ok());
+    EXPECT_EQ(progress.status().code(), StatusCode::kDataLoss);
+    failpoint::Disable("ckpt.write");
+  }
+  ASSERT_EQ(store.ValueOrDie()->ListGenerations().size(), 2u);
+
+  eth::SubgraphDataset ds = *raw_dataset_;
+  core::Dbg4Eth resumed(TinyConfig());
+  auto progress = resumed.ResumeTrain(&ds, options);
+  ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+  EXPECT_EQ(progress.ValueOrDie(), core::TrainProgress::kComplete);
+  EXPECT_EQ(SaveBytes(resumed), reference);
+}
+
+// A kill at the epoch boundary right after the snapshot committed — the
+// classic preemption SIGKILL. The snapshot on disk carries that epoch, so
+// the resumed run continues from the next one, bit-identically.
+TEST_F(ResumeReloadChaosTest, KillAtEpochBoundaryThenResume) {
+  const std::string reference = UninterruptedBytes();
+  auto store = CheckpointStore::Open(StoreConfig());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  core::TrainSnapshotOptions options;
+  options.store = store.ValueOrDie().get();
+  options.snapshot_every_epochs = 1;
+  {
+    // Boundaries 1-2 pass; the third epoch boundary "kills" the process
+    // after its snapshot was committed.
+    ASSERT_TRUE(
+        failpoint::Enable("train.epoch_end",
+                          failpoint::AfterN(2, StatusCode::kUnavailable))
+            .ok());
+    eth::SubgraphDataset ds = *raw_dataset_;
+    core::Dbg4Eth crashed(TinyConfig());
+    auto progress = crashed.TrainWithSnapshots(&ds, *split_, options);
+    ASSERT_FALSE(progress.ok());
+    failpoint::Disable("train.epoch_end");
+  }
+  ASSERT_EQ(store.ValueOrDie()->ListGenerations().size(), 3u);
+
+  eth::SubgraphDataset ds = *raw_dataset_;
+  core::Dbg4Eth resumed(TinyConfig());
+  auto progress = resumed.ResumeTrain(&ds, options);
+  ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+  EXPECT_EQ(progress.ValueOrDie(), core::TrainProgress::kComplete);
+  EXPECT_EQ(SaveBytes(resumed), reference);
+}
+
+// The full pipeline under fault injection: train with snapshots, crash,
+// resume, publish the finished model, and hot-reload it into a registry
+// whose validation gate is itself failing — the reload must be rejected
+// (keep serving nothing / the old model) until the gate heals.
+TEST_F(ResumeReloadChaosTest, ResumeThenReloadWithFailingValidationGate) {
+  auto store = CheckpointStore::Open(StoreConfig());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Crash mid-training, then resume to completion.
+  core::TrainSnapshotOptions options;
+  options.store = store.ValueOrDie().get();
+  options.max_epochs_this_run = 2;
+  {
+    eth::SubgraphDataset ds = *raw_dataset_;
+    core::Dbg4Eth preempted(TinyConfig());
+    auto progress = preempted.TrainWithSnapshots(&ds, *split_, options);
+    ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+    ASSERT_EQ(progress.ValueOrDie(), core::TrainProgress::kPreempted);
+  }
+  options.max_epochs_this_run = 0;
+  eth::SubgraphDataset ds = *raw_dataset_;
+  core::Dbg4Eth resumed(TinyConfig());
+  auto progress = resumed.ResumeTrain(&ds, options);
+  ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+  ASSERT_EQ(progress.ValueOrDie(), core::TrainProgress::kComplete);
+
+  // Publish the served-model checkpoint into a separate model store.
+  const std::filesystem::path model_dir = dir_ / "serving";
+  CheckpointStoreConfig model_store_config;
+  model_store_config.directory = model_dir.string();
+  model_store_config.retain = 10;
+  model_store_config.sync = false;
+  auto model_store = CheckpointStore::Open(model_store_config);
+  ASSERT_TRUE(model_store.ok());
+  const std::string model_bytes = SaveBytes(resumed);
+  ASSERT_TRUE(model_store.ValueOrDie()
+                  ->Save([&](std::ostream* os) {
+                    os->write(model_bytes.data(),
+                              static_cast<std::streamsize>(model_bytes.size()));
+                    return Status::OK();
+                  })
+                  .ok());
+
+  // A failing validation gate (injected) must reject the initial load.
+  ASSERT_TRUE(failpoint::Enable("reload.validate",
+                                failpoint::Always(StatusCode::kUnavailable))
+                  .ok());
+  ModelRegistryConfig registry_config;
+  registry_config.store = model_store_config;
+  registry_config.start_watcher = false;
+  auto registry = ModelRegistry::Create(registry_config, nullptr);
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  EXPECT_EQ(registry.ValueOrDie()->current(), nullptr);
+  EXPECT_EQ(registry.ValueOrDie()->current_generation(), 0u);
+
+  // Gate heals; a NEWER generation is required (the rejected one is
+  // remembered), so republish and poll.
+  failpoint::Disable("reload.validate");
+  ASSERT_TRUE(model_store.ValueOrDie()
+                  ->Save([&](std::ostream* os) {
+                    os->write(model_bytes.data(),
+                              static_cast<std::streamsize>(model_bytes.size()));
+                    return Status::OK();
+                  })
+                  .ok());
+  auto swapped = registry.ValueOrDie()->Poll();
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_TRUE(swapped.ValueOrDie());
+  ASSERT_NE(registry.ValueOrDie()->current(), nullptr);
+  EXPECT_EQ(registry.ValueOrDie()->current_generation(), 2u);
+
+  // The reloaded model scores identically to the resumed one.
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_FALSE(exchanges.empty());
+  graph::SamplingConfig chaos_sampling;
+  chaos_sampling.top_k = 4;
+  chaos_sampling.max_nodes = 30;
+  auto instance = eth::MaterializeInstance(*ledger_, exchanges.front(),
+                                           chaos_sampling, 4);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  eth::GraphInstance via_registry = instance.ValueOrDie();
+  registry.ValueOrDie()->current()->Normalize(&via_registry);
+  eth::GraphInstance via_resumed = instance.ValueOrDie();
+  resumed.Normalize(&via_resumed);
+  EXPECT_DOUBLE_EQ(
+      registry.ValueOrDie()->current()->PredictProba(via_registry),
+      resumed.PredictProba(via_resumed));
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full verification flow: the tier-1 gate plus the observability and
-# serving suites under ThreadSanitizer, and a serving-latency regression
-# guard against the committed BENCH_serve.json.
+# Full verification flow: the tier-1 gate (which includes the tier1_resume
+# kill-and-resume determinism matrix), the observability and serving suites
+# under ThreadSanitizer (including the model hot-swap hammer), a
+# failpoint-enabled kill -> resume -> hot-reload chaos smoke, and a
+# serving-latency regression guard against the committed BENCH_serve.json.
 #
 #   tools/check.sh            # tier-1 + tsan obs/serve
 #   tools/check.sh --fast     # tier-1 only
@@ -82,7 +84,13 @@ echo "=== tsan: obs suite (ctest -L obs) ==="
 (cd build-tsan && ctest -L obs --no-tests=error --output-on-failure -j"$(nproc)")
 
 echo "=== tsan: serve + chaos + inference fast-path suites ==="
-(cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache|InferenceArena|TapeFree|FastPath|MaskedAttentionAlpha|PackedBlocks" \
+(cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache|InferenceArena|TapeFree|FastPath|MaskedAttentionAlpha|PackedBlocks|ModelRegistry" \
+    --no-tests=error --output-on-failure -j"$(nproc)")
+
+# The tsan preset compiles with DBG4ETH_FAILPOINTS=ON, so this stage
+# actually injects the faults; in the default build these tests skip.
+echo "=== failpoints: kill during snapshot/epoch -> resume -> hot-reload smoke ==="
+(cd build-tsan && ctest -R "ResumeReloadChaos" \
     --no-tests=error --output-on-failure -j"$(nproc)")
 
 echo "=== all checks passed ==="
