@@ -40,6 +40,12 @@ namespace failpoint {
 ///                     the probe set (simulates a poisoned/failed reload)
 ///   pool.task         ThreadPool worker, before running a task
 ///                     (sleep-only site: injected errors are ignored)
+///   net.accept        HttpServer acceptor, after accept4 succeeds (the
+///                     new socket is dropped, simulating accept storms)
+///   net.conn_read     HttpServer event loop, before reading a connection
+///                     (fires tear the connection down as a read error)
+///   net.conn_write    HttpServer event loop, before writing a response
+///                     (fires tear the connection down mid-response)
 struct Spec {
   enum class Trigger {
     kAlways,       ///< Fire on every evaluation.

@@ -1,0 +1,215 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dbg4eth {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int option, int64_t timeout_us) {
+  timeval tv;
+  tv.tv_sec = timeout_us / 1'000'000;
+  tv.tv_usec = timeout_us % 1'000'000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port,
+                       const HttpClientConfig& config)
+    : host_(std::move(host)), port_(port), config_(config) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  leftover_.clear();
+}
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  SetTimeout(fd, SO_SNDTIMEO, config_.connect_timeout_us);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host_ + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        ErrnoStatus("connect " + host_ + ":" + StrFormat("%u",
+                                                         unsigned{port_}));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetTimeout(fd, SO_RCVTIMEO, config_.io_timeout_us);
+  SetTimeout(fd, SO_SNDTIMEO, config_.io_timeout_us);
+  fd_ = fd;
+  ++connects_;
+  leftover_.clear();
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::Get(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return Request("GET", path, "", headers);
+}
+
+Result<HttpResponse> HttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return Request("POST", path, body, headers);
+}
+
+Result<HttpResponse> HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire = method + " " + path + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + "\r\n";
+  for (const auto& header : headers) {
+    wire += header.first + ": " + header.second + "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    wire += StrFormat("Content-Length: %zu\r\n", body.size());
+  }
+  wire += "\r\n";
+  wire += body;
+
+  const bool reused = fd_ >= 0;
+  Result<HttpResponse> result = RoundTrip(wire);
+  if (!result.ok() && reused) {
+    // The reused keep-alive socket was dead (server idle-closed it);
+    // retry once on a fresh connection.
+    Disconnect();
+    result = RoundTrip(wire);
+  }
+  return result;
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
+  DBG4ETH_RETURN_NOT_OK(Connect());
+  Status sent = SendRaw(wire);
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  Result<HttpResponse> response = ReadResponse();
+  if (!response.ok()) Disconnect();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  std::string buffer = std::move(leftover_);
+  leftover_.clear();
+
+  // Read until the header block is complete.
+  size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > config_.max_response_bytes) {
+      return Status::Internal("response headers exceed limit");
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  const std::string status_line = buffer.substr(0, buffer.find("\r\n"));
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (status_line.compare(0, 5, "HTTP/") != 0 || sp1 == std::string::npos) {
+    return Status::Internal("malformed status line '" + status_line + "'");
+  }
+  response.status = std::atoi(status_line.c_str() + sp1 + 1);
+  if (response.status < 100 || response.status > 599) {
+    return Status::Internal("malformed status line '" + status_line + "'");
+  }
+
+  size_t content_length = 0;
+  bool close_after = false;
+  size_t pos = buffer.find("\r\n") + 2;
+  while (pos < header_end) {
+    size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buffer.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = ToLower(line.substr(0, colon));
+    const std::string value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                         nullptr, 10));
+      if (content_length > config_.max_response_bytes) {
+        return Status::Internal("response body exceeds limit");
+      }
+    } else if (name == "connection" && ToLower(value) == "close") {
+      close_after = true;
+    }
+    response.headers.emplace_back(name, value);
+  }
+
+  const size_t body_start = header_end + 4;
+  while (buffer.size() - body_start < content_length) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) return Status::Unavailable("connection closed mid-body");
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer.substr(body_start, content_length);
+  leftover_ = buffer.substr(body_start + content_length);
+
+  if (close_after) Disconnect();
+  return response;
+}
+
+}  // namespace net
+}  // namespace dbg4eth

@@ -1,0 +1,90 @@
+#ifndef DBG4ETH_NET_CLIENT_H_
+#define DBG4ETH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/http.h"
+
+namespace dbg4eth {
+namespace net {
+
+/// \brief Limits of the blocking client.
+struct HttpClientConfig {
+  int64_t connect_timeout_us = 5'000'000;
+  /// Per-recv/send timeout (SO_RCVTIMEO / SO_SNDTIMEO).
+  int64_t io_timeout_us = 30'000'000;
+  /// Response size bound (headers + body).
+  size_t max_response_bytes = 8 << 20;
+};
+
+/// \brief Small blocking HTTP/1.1 client for tests, benches and tools.
+///
+/// One connection per instance, reused across requests (keep-alive) and
+/// transparently re-established when the server closed it. Not
+/// thread-safe — use one client per thread, which is also how the bench
+/// sweeps concurrent connections.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port,
+             const HttpClientConfig& config = HttpClientConfig());
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Result<HttpResponse> Get(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+  Result<HttpResponse> Post(
+      const std::string& path, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Full request primitive behind Get/Post. Retries once on a fresh
+  /// connection when a reused keep-alive socket turns out to be dead (the
+  /// server may have idle-closed it between requests).
+  Result<HttpResponse> Request(
+      const std::string& method, const std::string& path,
+      const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers);
+
+  /// Drops the current connection (the next request reconnects).
+  void Disconnect();
+
+  // --- raw access for chaos tests ---
+
+  /// Ensures a live connection without sending anything.
+  Status Connect();
+  /// Writes raw bytes on the current connection (Connect first).
+  Status SendRaw(const std::string& bytes);
+  /// The connected socket, -1 when disconnected. Chaos tests use it to
+  /// close mid-exchange.
+  int fd() const { return fd_; }
+
+  /// TCP connections established over this client's lifetime — tests
+  /// assert keep-alive reuse by checking this stays at 1.
+  uint64_t connects() const { return connects_; }
+
+ private:
+  Result<HttpResponse> RoundTrip(const std::string& wire);
+  /// Reads one full response off the socket.
+  Result<HttpResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_;
+  HttpClientConfig config_;
+  int fd_ = -1;
+  uint64_t connects_ = 0;
+  /// Bytes read past the previous response (servers never pipeline
+  /// responses unprompted, but keep the parser honest).
+  std::string leftover_;
+};
+
+}  // namespace net
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_NET_CLIENT_H_

@@ -1,0 +1,297 @@
+#include "net/http.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace dbg4eth {
+namespace net {
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Content Too Large";
+    case 422:
+      return "Unprocessable Content";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& name_lower) const {
+  for (const auto& header : headers) {
+    if (header.first == name_lower) return &header.second;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = FindHeader("connection");
+  if (connection != nullptr) {
+    const std::string value = ToLower(*connection);
+    if (value == "close") return false;
+    if (value == "keep-alive") return true;
+  }
+  return version_minor >= 1;
+}
+
+void HttpResponse::SetHeader(const std::string& name,
+                             const std::string& value) {
+  for (auto& header : headers) {
+    if (header.first == name) {
+      header.second = value;
+      return;
+    }
+  }
+  headers.emplace_back(name, value);
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  response.SetHeader("Content-Type", "application/json");
+  return response;
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  response.SetHeader("Content-Type", "text/plain; charset=utf-8");
+  return response;
+}
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  std::string body;
+  json::JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Key("error");
+  writer.BeginObject();
+  writer.Key("code");
+  writer.Int(status);
+  writer.Key("message");
+  writer.String(message);
+  writer.EndObject();
+  writer.EndObject();
+  body += "\n";
+  return Json(status, std::move(body));
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                   HttpStatusText(response.status));
+  for (const auto& header : response.headers) {
+    out += header.first + ": " + header.second + "\r\n";
+  }
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpParser::HttpParser(const HttpParserConfig& config) : config_(config) {}
+
+void HttpParser::Fail(int status, const std::string& message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = message;
+}
+
+HttpParser::State HttpParser::Consume(const char* data, size_t n) {
+  if (state_ == State::kError) return state_;
+  if (n > 0) buffer_.append(data, n);
+  TryParse();
+  return state_;
+}
+
+void HttpParser::TryParse() {
+  if (state_ == State::kHeaders) {
+    const size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > config_.max_header_bytes) {
+        Fail(431, "request headers exceed " +
+                      StrFormat("%zu", config_.max_header_bytes) + " bytes");
+      }
+      return;
+    }
+    if (header_end + 4 > config_.max_header_bytes) {
+      Fail(431, "request headers exceed " +
+                    StrFormat("%zu", config_.max_header_bytes) + " bytes");
+      return;
+    }
+    ParseHeaderBlock(header_end);
+    if (state_ == State::kError) return;
+    body_start_ = header_end + 4;
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() - body_start_ < content_length_) return;
+    request_.body = buffer_.substr(body_start_, content_length_);
+    consumed_ = body_start_ + content_length_;
+    state_ = State::kComplete;
+  }
+}
+
+void HttpParser::ParseHeaderBlock(size_t header_end) {
+  request_ = HttpRequest();
+  content_length_ = 0;
+
+  const size_t line_end = buffer_.find("\r\n");
+  if (line_end == std::string::npos || line_end > header_end) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  const std::string request_line = buffer_.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.find(' ', sp2 + 1) != std::string::npos) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = request_line.substr(0, sp1);
+  request_.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed request line");
+    return;
+  }
+  for (char c : request_.method) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      Fail(400, "malformed method");
+      return;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    Fail(400, "unsupported HTTP version '" + version + "'");
+    return;
+  }
+  const size_t question = request_.target.find('?');
+  if (question == std::string::npos) {
+    request_.path = request_.target;
+  } else {
+    request_.path = request_.target.substr(0, question);
+    request_.query = request_.target.substr(question + 1);
+  }
+
+  // Header lines.
+  size_t pos = line_end + 2;
+  bool saw_content_length = false;
+  while (pos < header_end) {
+    size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return;
+    }
+    std::string name = ToLower(line.substr(0, colon));
+    // Whitespace inside a field name is request smuggling bait — reject.
+    for (char c : name) {
+      if (c == ' ' || c == '\t') {
+        Fail(400, "whitespace in header name");
+        return;
+      }
+    }
+    std::string value = Trim(line.substr(colon + 1));
+    request_.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const std::string* te = request_.FindHeader("transfer-encoding");
+  if (te != nullptr && ToLower(*te) != "identity") {
+    Fail(501, "transfer-encoding '" + *te + "' not supported");
+    return;
+  }
+  const std::string* cl = request_.FindHeader("content-length");
+  if (cl != nullptr) {
+    if (cl->empty()) {
+      Fail(400, "empty content-length");
+      return;
+    }
+    for (char c : *cl) {
+      if (c < '0' || c > '9') {
+        Fail(400, "malformed content-length '" + *cl + "'");
+        return;
+      }
+    }
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(cl->c_str(), nullptr, 10);
+    if (errno != 0 || parsed > config_.max_body_bytes) {
+      Fail(413, "declared body of " + *cl + " bytes exceeds limit of " +
+                    StrFormat("%zu", config_.max_body_bytes) + " bytes");
+      return;
+    }
+    content_length_ = static_cast<size_t>(parsed);
+    saw_content_length = true;
+  }
+  // A second Content-Length header that disagrees is smuggling bait.
+  if (saw_content_length) {
+    int count = 0;
+    for (const auto& header : request_.headers) {
+      if (header.first == "content-length") {
+        ++count;
+        if (header.second != *cl) {
+          Fail(400, "conflicting content-length headers");
+          return;
+        }
+      }
+    }
+    (void)count;
+  }
+}
+
+void HttpParser::Reset() {
+  if (state_ != State::kComplete) return;
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  body_start_ = 0;
+  content_length_ = 0;
+  request_ = HttpRequest();
+  state_ = State::kHeaders;
+  TryParse();
+}
+
+}  // namespace net
+}  // namespace dbg4eth

@@ -1,0 +1,224 @@
+#include "net/scoring_app.h"
+
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+#include "obs/export.h"
+#include "serve/server_stats.h"
+#include "serve/types.h"
+
+namespace dbg4eth {
+namespace net {
+
+namespace {
+
+/// Renders one ScoreResult (ok or error) as a JSON object.
+void WriteScoreResult(const serve::ScoreResult& result,
+                      json::JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("address");
+  writer->Int(result.address);
+  if (result.ok()) {
+    writer->Key("score");
+    writer->NumberRoundTrip(result.probability);
+    writer->Key("probabilities");
+    writer->BeginArray();
+    writer->NumberRoundTrip(1.0 - result.probability);
+    writer->NumberRoundTrip(result.probability);
+    writer->EndArray();
+    writer->Key("ledger_height");
+    writer->UInt(result.ledger_height);
+    writer->Key("model_generation");
+    writer->UInt(result.model_generation);
+    writer->Key("stale");
+    writer->Bool(result.stale);
+    writer->Key("cache_hit");
+    writer->Bool(result.cache_hit);
+    writer->Key("retries");
+    writer->Int(result.retries);
+  } else {
+    writer->Key("error");
+    writer->BeginObject();
+    writer->Key("code");
+    writer->Int(serve::SuggestedHttpStatus(result.status));
+    writer->Key("message");
+    writer->String(result.status.ToString());
+    writer->EndObject();
+  }
+  writer->EndObject();
+}
+
+}  // namespace
+
+ScoringApp::ScoringApp(serve::InferenceService* service, HttpServer* server,
+                       const ScoringAppConfig& config)
+    : service_(service), server_(server), config_(config) {
+  server_->Route("POST", "/v1/score",
+                 [this](const HttpRequest& r) { return HandleScore(r); });
+  server_->Route("POST", "/v1/score_batch", [this](const HttpRequest& r) {
+    return HandleScoreBatch(r);
+  });
+  server_->Route("GET", "/metrics",
+                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server_->Route("GET", "/healthz",
+                 [this](const HttpRequest& r) { return HandleHealthz(r); });
+  server_->Route("GET", "/statusz",
+                 [this](const HttpRequest& r) { return HandleStatusz(r); });
+}
+
+bool ScoringApp::ParseDeadline(const HttpRequest& request,
+                               int64_t* deadline_us,
+                               HttpResponse* error) const {
+  *deadline_us = 0;
+  const std::string* header = request.FindHeader("x-deadline-us");
+  if (header == nullptr) return true;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(header->c_str(), &end, 10);
+  if (end == header->c_str() || *end != '\0' || parsed < 0) {
+    *error = HttpResponse::Error(
+        400, "x-deadline-us must be a non-negative integer, got '" +
+                 *header + "'");
+    return false;
+  }
+  *deadline_us = std::min<int64_t>(parsed, config_.max_deadline_us);
+  return true;
+}
+
+HttpResponse ScoringApp::HandleScore(const HttpRequest& request) {
+  int64_t deadline_us = 0;
+  HttpResponse error;
+  if (!ParseDeadline(request, &deadline_us, &error)) return error;
+
+  auto parsed = json::ParseJson(request.body);
+  if (!parsed.ok()) {
+    return HttpResponse::Error(400, parsed.status().message());
+  }
+  const json::JsonValue* address = parsed.ValueOrDie().Find("address");
+  if (address == nullptr) {
+    return HttpResponse::Error(400, "body must be {\"address\": N}");
+  }
+  auto id = address->AsInt64();
+  if (!id.ok() ||
+      id.ValueOrDie() < std::numeric_limits<eth::AccountId>::min() ||
+      id.ValueOrDie() > std::numeric_limits<eth::AccountId>::max()) {
+    return HttpResponse::Error(400, "address must be a 32-bit integer");
+  }
+
+  const serve::ScoreResult result =
+      service_
+          ->ScoreAsync(static_cast<eth::AccountId>(id.ValueOrDie()),
+                       deadline_us)
+          .get();
+  std::string body;
+  json::JsonWriter writer(&body);
+  WriteScoreResult(result, &writer);
+  body += "\n";
+  return HttpResponse::Json(serve::SuggestedHttpStatus(result.status),
+                            std::move(body));
+}
+
+HttpResponse ScoringApp::HandleScoreBatch(const HttpRequest& request) {
+  int64_t deadline_us = 0;
+  HttpResponse error;
+  if (!ParseDeadline(request, &deadline_us, &error)) return error;
+
+  auto parsed = json::ParseJson(request.body);
+  if (!parsed.ok()) {
+    return HttpResponse::Error(400, parsed.status().message());
+  }
+  const json::JsonValue* addresses = parsed.ValueOrDie().Find("addresses");
+  if (addresses == nullptr || !addresses->is_array()) {
+    return HttpResponse::Error(400,
+                               "body must be {\"addresses\": [N, ...]}");
+  }
+  if (addresses->items.size() > config_.max_batch_addresses) {
+    return HttpResponse::Error(
+        413, StrFormat("batch of %zu addresses exceeds limit of %zu",
+                       addresses->items.size(),
+                       config_.max_batch_addresses));
+  }
+  std::vector<eth::AccountId> ids;
+  ids.reserve(addresses->items.size());
+  for (const json::JsonValue& item : addresses->items) {
+    auto id = item.AsInt64();
+    if (!id.ok() ||
+        id.ValueOrDie() < std::numeric_limits<eth::AccountId>::min() ||
+        id.ValueOrDie() > std::numeric_limits<eth::AccountId>::max()) {
+      return HttpResponse::Error(400,
+                                 "addresses must be 32-bit integers");
+    }
+    ids.push_back(static_cast<eth::AccountId>(id.ValueOrDie()));
+  }
+
+  // Fan the whole batch out first so the service can micro-batch it into
+  // packed forwards, then gather in order.
+  std::vector<std::future<serve::ScoreResult>> pending;
+  pending.reserve(ids.size());
+  for (eth::AccountId id : ids) {
+    pending.push_back(service_->ScoreAsync(id, deadline_us));
+  }
+  std::string body;
+  json::JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Key("results");
+  writer.BeginArray();
+  size_t failures = 0;
+  for (auto& future : pending) {
+    const serve::ScoreResult result = future.get();
+    if (!result.ok()) ++failures;
+    WriteScoreResult(result, &writer);
+  }
+  writer.EndArray();
+  writer.Key("failures");
+  writer.UInt(failures);
+  writer.EndObject();
+  body += "\n";
+  // Partial failures are reported per item; the batch itself is a 200.
+  return HttpResponse::Json(200, std::move(body));
+}
+
+HttpResponse ScoringApp::HandleMetrics(const HttpRequest&) {
+  HttpResponse response = HttpResponse::Text(200, obs::TextExposition());
+  // The Prometheus exposition-format content type.
+  response.SetHeader("Content-Type", "text/plain; version=0.0.4");
+  return response;
+}
+
+HttpResponse ScoringApp::HandleHealthz(const HttpRequest&) {
+  return HttpResponse::Text(200, "ok\n");
+}
+
+HttpResponse ScoringApp::HandleStatusz(const HttpRequest&) {
+  std::string body;
+  json::JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Key("service");
+  writer.Raw(serve::ServerStats::ToJson(service_->StatsSnapshot()));
+  writer.Key("model_generation");
+  writer.UInt(service_->model_generation());
+  writer.Key("ledger_height");
+  writer.UInt(service_->ledger_height());
+  writer.Key("http");
+  writer.BeginObject();
+  writer.Key("address");
+  writer.String(server_->address());
+  writer.Key("open_connections");
+  writer.Int(server_->open_connections());
+  writer.Key("requests_served");
+  writer.UInt(server_->requests_served());
+  writer.EndObject();
+  writer.Key("obs");
+  writer.Raw(obs::JsonSnapshot());
+  writer.EndObject();
+  body += "\n";
+  return HttpResponse::Json(200, std::move(body));
+}
+
+}  // namespace net
+}  // namespace dbg4eth

@@ -1,0 +1,72 @@
+#ifndef DBG4ETH_NET_SCORING_APP_H_
+#define DBG4ETH_NET_SCORING_APP_H_
+
+#include <cstdint>
+
+#include "net/http.h"
+#include "net/server.h"
+#include "serve/inference_service.h"
+
+namespace dbg4eth {
+namespace net {
+
+/// \brief Knobs of the HTTP scoring API.
+struct ScoringAppConfig {
+  /// Largest accepted `x-deadline-us` value; larger asks are clamped so a
+  /// client cannot pin a handler thread for an hour.
+  int64_t max_deadline_us = 60'000'000;
+  /// Address-count bound of one /v1/score_batch body.
+  size_t max_batch_addresses = 256;
+};
+
+/// \brief The HTTP face of InferenceService: scoring + admin endpoints.
+///
+/// Routes registered on the server:
+///   POST /v1/score        {"address": N} -> one ScoreResult as JSON
+///   POST /v1/score_batch  {"addresses": [N, ...]} -> {"results": [...]}
+///   GET  /metrics         Prometheus text exposition (obs registry)
+///   GET  /healthz         liveness ("ok")
+///   GET  /statusz         JSON: ServerStats snapshot, model generation,
+///                         ledger height, HTTP-server counters, and the
+///                         obs metrics + span snapshot
+///
+/// Deadline propagation: an `x-deadline-us` request header (microsecond
+/// budget from arrival, clamped to `max_deadline_us`) rides into
+/// InferenceService::ScoreAsync, so an expired request resolves
+/// kDeadlineExceeded without a forward pass and maps to 504 on the wire.
+/// All ScoreResult error statuses map through serve::SuggestedHttpStatus
+/// (504 deadline / 429 shed / 503 unavailable / 404 unknown address).
+///
+/// Scores are serialized with round-trip precision: the double a client
+/// parses back is bit-identical to the in-process PredictProba result.
+class ScoringApp {
+ public:
+  /// `service` and `server` must outlive the app; the app must outlive
+  /// the server's Shutdown (handlers reference it).
+  ScoringApp(serve::InferenceService* service, HttpServer* server,
+             const ScoringAppConfig& config = ScoringAppConfig());
+
+  ScoringApp(const ScoringApp&) = delete;
+  ScoringApp& operator=(const ScoringApp&) = delete;
+
+ private:
+  HttpResponse HandleScore(const HttpRequest& request);
+  HttpResponse HandleScoreBatch(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleStatusz(const HttpRequest& request);
+
+  /// Parses the `x-deadline-us` header; 0 when absent. Negative or
+  /// non-numeric values are reported via `error`.
+  bool ParseDeadline(const HttpRequest& request, int64_t* deadline_us,
+                     HttpResponse* error) const;
+
+  serve::InferenceService* service_;
+  HttpServer* server_;
+  ScoringAppConfig config_;
+};
+
+}  // namespace net
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_NET_SCORING_APP_H_

@@ -1,0 +1,235 @@
+#ifndef DBG4ETH_NET_SERVER_H_
+#define DBG4ETH_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/http.h"
+#include "obs/metrics.h"
+
+namespace dbg4eth {
+namespace net {
+
+/// \brief Knobs of the HTTP server (see DESIGN.md "Network layer").
+struct HttpServerConfig {
+  /// Bind address; the default serves loopback only (tests, benches, the
+  /// demo). Bind 0.0.0.0 explicitly to expose the service.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Event-loop threads; connections are assigned round-robin at accept.
+  int num_loops = 2;
+  /// Handler pool: request handlers run here, never on an event loop, so
+  /// a slow handler (a cold score) cannot stall other connections' I/O.
+  int num_handler_threads = 4;
+  /// Pending handler tasks beyond the running ones; when full, new
+  /// requests are shed with 503 instead of queueing without bound.
+  size_t handler_queue_capacity = 256;
+  /// Open-connection cap; accepts beyond it get a canned 503 and close.
+  int max_connections = 1024;
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 << 20;
+  /// A connection with a partially received request older than this is
+  /// answered 408 and closed (slowloris shedding).
+  int64_t read_timeout_us = 10'000'000;
+  /// An idle keep-alive connection older than this is closed.
+  int64_t idle_timeout_us = 60'000'000;
+  /// A connection stuck mid-write longer than this is closed.
+  int64_t write_timeout_us = 10'000'000;
+  /// Graceful-shutdown bound: in-flight requests get this long to finish
+  /// and flush before remaining connections are force-closed.
+  int64_t drain_deadline_us = 5'000'000;
+  /// Timeout-sweep cadence (also the epoll_wait tick).
+  int64_t sweep_interval_us = 50'000;
+};
+
+/// \brief Non-blocking, epoll-driven HTTP/1.1 server.
+///
+/// Architecture (one acceptor + N event loops + a handler pool):
+///   - The acceptor thread owns the listen socket; accepted connections
+///     are handed round-robin to an event loop through a mutex-guarded
+///     inbox plus an eventfd wake.
+///   - Each event loop owns its connections outright (their state is
+///     touched by no other thread): a level-triggered epoll drives a
+///     per-connection state machine reading -> handling -> writing ->
+///     (keep-alive) reading, with incremental request parsing, pipelined
+///     request support, and a periodic sweep enforcing read/idle/write
+///     timeouts.
+///   - Parsed requests are dispatched to the handler pool; the loop stops
+///     reading the connection (poll for peer-close only) until the
+///     handler's response comes back through the loop's inbox. A full
+///     handler queue sheds the request with 503 immediately.
+///
+/// Graceful shutdown: Shutdown() closes the listener, lets every
+/// in-flight request finish and flush within `drain_deadline_us`, then
+/// closes whatever remains and joins all threads. Idempotent.
+///
+/// Metrics (global registry): `net_connections` (open, gauge),
+/// `net_connections_total`, `net_requests_total{route,code}`,
+/// `net_request_us{route}`, `net_parse_errors_total`,
+/// `net_timeouts_total{kind}`, `net_client_aborts_total`,
+/// `net_shed_total`, `net_accept_errors_total`.
+///
+/// Failpoints: `net.accept` (accepted socket dropped), `net.conn_read`,
+/// `net.conn_write` (connection torn down at the read/write site).
+class HttpServer {
+ public:
+  /// Request handler; runs on the handler pool, may block. The request
+  /// object stays valid for the handler's whole lifetime even if the
+  /// client disconnects mid-handling.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(const HttpServerConfig& config);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match route. Call before Start (the table is
+  /// read-only once the loops run). A path registered under a different
+  /// method yields 405 for the others.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds, listens and spawns the acceptor + event-loop threads.
+  Status Start();
+
+  /// Graceful drain (see class comment). Safe to call from any thread.
+  void Shutdown();
+
+  /// Bound port (after Start; the ephemeral port when config.port == 0).
+  uint16_t port() const { return port_; }
+  /// "host:port" of the listener.
+  std::string address() const;
+
+  int open_connections() const { return open_connections_.load(); }
+  /// Total requests answered (any status) since Start.
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+  const HttpServerConfig& config() const { return config_; }
+
+ private:
+  struct RouteEntry {
+    std::string method;
+    std::string path;
+    Handler handler;
+    obs::Histogram* request_us = nullptr;
+  };
+
+  /// One connection's state; owned and touched only by its event loop.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    HttpParser parser;
+    std::string write_buffer;
+    size_t write_offset = 0;
+    bool close_after_write = false;
+    bool handler_inflight = false;
+    bool want_write = false;
+    /// Keep-alive decision of the request currently being handled.
+    bool request_keep_alive = false;
+    std::string route_label;  ///< Of the request currently in flight.
+    std::chrono::steady_clock::time_point last_activity;
+    std::chrono::steady_clock::time_point request_start;
+    uint64_t requests_served = 0;
+
+    explicit Conn(const HttpParserConfig& parser_config)
+        : parser(parser_config) {}
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    HttpResponse response;
+  };
+
+  /// One event loop's thread-shared inbox + thread-private connection map.
+  struct Loop {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+
+    std::mutex inbox_mu;
+    std::vector<int> pending_fds;
+    std::vector<Completion> pending_completions;
+
+    // Loop-thread private.
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    std::chrono::steady_clock::time_point last_sweep;
+  };
+
+  void AcceptLoop();
+  void EventLoop(Loop* loop);
+  void Wake(Loop* loop);
+
+  void AdoptConnection(Loop* loop, int fd);
+  void HandleConnEvent(Loop* loop, Conn* conn, uint32_t events);
+  void OnReadable(Loop* loop, Conn* conn);
+  /// Advances the parser-driven part of the state machine after new bytes
+  /// (or after Reset made pipelined leftovers current).
+  void AdvanceParse(Loop* loop, Conn* conn);
+  void DispatchRequest(Loop* loop, Conn* conn);
+  void StageResponse(Loop* loop, Conn* conn, const HttpResponse& response,
+                     bool keep_alive);
+  void TryWrite(Loop* loop, Conn* conn);
+  void FinishWrite(Loop* loop, Conn* conn);
+  void CloseConn(Loop* loop, Conn* conn);
+  void SweepTimeouts(Loop* loop);
+  /// Updates the epoll interest set of `conn` to `events` | RDHUP.
+  void UpdateInterest(Loop* loop, Conn* conn, uint32_t events);
+  void RecordRequestMetrics(const Conn& conn, int code);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  HttpServerConfig config_;
+  HttpParserConfig parser_config_;
+  std::vector<RouteEntry> routes_;
+
+  int listen_fd_ = -1;
+  int accept_epoll_fd_ = -1;
+  int accept_wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<int> open_connections_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex shutdown_mu_;  ///< Serializes Shutdown callers.
+  bool shut_down_ = false;
+  /// Force-close everything at this point of a drain.
+  std::chrono::steady_clock::time_point drain_deadline_;
+
+  // Cached instruments (global registry; pointers are stable).
+  obs::Gauge* connections_gauge_;
+  obs::Counter* connections_total_;
+  obs::Counter* accept_errors_total_;
+  obs::Counter* accept_rejected_total_;
+  obs::Counter* parse_errors_total_;
+  obs::Counter* client_aborts_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* timeouts_read_;
+  obs::Counter* timeouts_idle_;
+  obs::Counter* timeouts_write_;
+  obs::Histogram* request_us_unmatched_;
+};
+
+}  // namespace net
+}  // namespace dbg4eth
+
+#endif  // DBG4ETH_NET_SERVER_H_

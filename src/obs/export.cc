@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/json_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -39,36 +40,25 @@ std::string BucketLabels(const std::string& labels, double bound) {
   return out;
 }
 
-void AppendJsonEscaped(const std::string& s, std::string* out) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out->push_back('\\');
-      out->push_back(c);
-    } else if (c == '\n') {
-      *out += "\\n";
-    } else {
-      out->push_back(c);
+/// Renders one span tree through the shared writer (json::JsonWriter owns
+/// the escaping and comma bookkeeping — see common/json_util.h).
+void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String(node.name);
+  writer->Key("start_us");
+  writer->Number(node.start_us);
+  writer->Key("duration_us");
+  writer->Number(node.duration_us);
+  if (!node.children.empty()) {
+    writer->Key("children");
+    writer->BeginArray();
+    for (const SpanNode& child : node.children) {
+      AppendSpanJson(child, writer);
     }
+    writer->EndArray();
   }
-}
-
-void AppendSpanJson(const SpanNode& node, int indent, std::string* out) {
-  const std::string pad(static_cast<size_t>(indent), ' ');
-  *out += pad + "{\"name\": \"";
-  AppendJsonEscaped(node.name, out);
-  *out += StrFormat("\", \"start_us\": %g, \"duration_us\": %g",
-                    node.start_us, node.duration_us);
-  if (node.children.empty()) {
-    *out += "}";
-    return;
-  }
-  *out += ", \"children\": [\n";
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    AppendSpanJson(node.children[i], indent + 2, out);
-    if (i + 1 < node.children.size()) *out += ",";
-    *out += "\n";
-  }
-  *out += pad + "]}";
+  writer->EndObject();
 }
 
 }  // namespace
@@ -121,53 +111,67 @@ std::string JsonSnapshot(const MetricsRegistry* registry,
                          const Tracer* tracer) {
   if (registry == nullptr) registry = MetricsRegistry::Global();
   if (tracer == nullptr) tracer = Tracer::Global();
-  std::string out = "{\n  \"metrics\": [\n";
-  const auto families = registry->TakeSnapshot();
-  for (size_t f = 0; f < families.size(); ++f) {
-    const auto& family = families[f];
-    out += "    {\"name\": \"";
-    AppendJsonEscaped(family.name, &out);
-    out += "\", \"kind\": \"";
-    out += KindName(family.kind);
-    out += "\", \"help\": \"";
-    AppendJsonEscaped(family.help, &out);
-    out += "\", \"instruments\": [\n";
-    for (size_t i = 0; i < family.instruments.size(); ++i) {
-      const auto& inst = family.instruments[i];
-      out += "      {\"labels\": \"";
-      AppendJsonEscaped(inst.labels, &out);
-      out += "\", ";
+  std::string out;
+  json::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Key("metrics");
+  writer.BeginArray();
+  for (const auto& family : registry->TakeSnapshot()) {
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(family.name);
+    writer.Key("kind");
+    writer.String(KindName(family.kind));
+    writer.Key("help");
+    writer.String(family.help);
+    writer.Key("instruments");
+    writer.BeginArray();
+    for (const auto& inst : family.instruments) {
+      writer.BeginObject();
+      writer.Key("labels");
+      writer.String(inst.labels);
       switch (family.kind) {
         case MetricsRegistry::Kind::kCounter:
-          out += StrFormat("\"value\": %llu",
-                           static_cast<unsigned long long>(
-                               inst.counter_value));
+          writer.Key("value");
+          writer.UInt(inst.counter_value);
           break;
         case MetricsRegistry::Kind::kGauge:
-          out += StrFormat("\"value\": %g", inst.gauge_value);
+          writer.Key("value");
+          writer.Number(inst.gauge_value);
           break;
         case MetricsRegistry::Kind::kHistogram: {
           const Histogram::Snapshot& h = inst.histogram;
-          out += StrFormat(
-              "\"count\": %llu, \"sum\": %g, \"min\": %g, \"max\": %g, "
-              "\"p50\": %g, \"p95\": %g, \"p99\": %g",
-              static_cast<unsigned long long>(h.count), h.sum, h.min, h.max,
-              h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
+          writer.Key("count");
+          writer.UInt(h.count);
+          writer.Key("sum");
+          writer.Number(h.sum);
+          writer.Key("min");
+          writer.Number(h.min);
+          writer.Key("max");
+          writer.Number(h.max);
+          writer.Key("p50");
+          writer.Number(h.Percentile(0.50));
+          writer.Key("p95");
+          writer.Number(h.Percentile(0.95));
+          writer.Key("p99");
+          writer.Number(h.Percentile(0.99));
           break;
         }
       }
-      out += i + 1 < family.instruments.size() ? "},\n" : "}\n";
+      writer.EndObject();
     }
-    out += f + 1 < families.size() ? "    ]},\n" : "    ]}\n";
+    writer.EndArray();
+    writer.EndObject();
   }
-  out += "  ],\n  \"spans\": [\n";
-  const auto roots = tracer->Snapshot();
-  for (size_t r = 0; r < roots.size(); ++r) {
-    AppendSpanJson(roots[r], 4, &out);
-    if (r + 1 < roots.size()) out += ",";
-    out += "\n";
+  writer.EndArray();
+  writer.Key("spans");
+  writer.BeginArray();
+  for (const SpanNode& root : tracer->Snapshot()) {
+    AppendSpanJson(root, &writer);
   }
-  out += "  ]\n}\n";
+  writer.EndArray();
+  writer.EndObject();
+  out += "\n";
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json_util.h"
+
 namespace dbg4eth {
 namespace serve {
 
@@ -200,6 +202,62 @@ std::string ServerStats::Format(const Snapshot& s) {
                 s.stale.p95_us, s.stale.p99_us, s.stale.mean_us,
                 s.stale.max_us);
   out += buf;
+  return out;
+}
+
+namespace {
+
+void LatencyJson(json::JsonWriter* writer, const char* key,
+                 const ServerStats::LatencySummary& summary) {
+  writer->Key(key);
+  writer->BeginObject();
+  writer->Key("count");
+  writer->UInt(summary.count);
+  writer->Key("p50_us");
+  writer->Number(summary.p50_us);
+  writer->Key("p95_us");
+  writer->Number(summary.p95_us);
+  writer->Key("p99_us");
+  writer->Number(summary.p99_us);
+  writer->Key("mean_us");
+  writer->Number(summary.mean_us);
+  writer->Key("max_us");
+  writer->Number(summary.max_us);
+  writer->EndObject();
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson(const Snapshot& s) {
+  std::string out;
+  json::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Key("requests");
+  writer.UInt(s.requests);
+  writer.Key("cache_hits");
+  writer.UInt(s.cache_hits);
+  writer.Key("cache_hit_rate");
+  writer.Number(s.cache_hit_rate);
+  writer.Key("errors");
+  writer.UInt(s.errors);
+  writer.Key("deadline_exceeded");
+  writer.UInt(s.deadline_exceeded);
+  writer.Key("shed");
+  writer.UInt(s.shed);
+  writer.Key("retried");
+  writer.UInt(s.retried);
+  writer.Key("stale_served");
+  writer.UInt(s.stale_served);
+  writer.Key("batches");
+  writer.UInt(s.batches);
+  writer.Key("avg_batch_size");
+  writer.Number(s.avg_batch_size);
+  writer.Key("workers");
+  writer.Int(s.workers);
+  LatencyJson(&writer, "cold", s.cold);
+  LatencyJson(&writer, "hit", s.hit);
+  LatencyJson(&writer, "stale", s.stale);
+  writer.EndObject();
   return out;
 }
 

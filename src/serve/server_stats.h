@@ -88,6 +88,10 @@ class ServerStats {
   /// Multi-line human-readable rendering of a snapshot.
   static std::string Format(const Snapshot& snapshot);
 
+  /// One-JSON-object rendering of a snapshot (the `/statusz` admin
+  /// endpoint embeds it; see src/net/scoring_app.cc).
+  static std::string ToJson(const Snapshot& snapshot);
+
  private:
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};

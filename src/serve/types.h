@@ -45,6 +45,37 @@ struct ScoreResult {
   bool ok() const { return status.ok(); }
 };
 
+/// \brief The serving layer's canonical Status -> HTTP status mapping,
+/// used by the HTTP front end (src/net) so wire semantics stay defined
+/// next to the Status semantics they mirror:
+///   kDeadlineExceeded  -> 504 (the request's deadline passed)
+///   kResourceExhausted -> 429 (shed at admission; retry with backoff)
+///   kUnavailable       -> 503 (cold path down past the retry budget)
+///   kNotFound          -> 404 (unknown address)
+///   kInvalidArgument   -> 400
+///   kFailedPrecondition-> 422 (degenerate subgraph / not servable)
+/// Everything else is an internal failure (500).
+inline int SuggestedHttpStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kFailedPrecondition:
+      return 422;
+    default:
+      return 500;
+  }
+}
+
 /// \brief One in-flight scoring request as it moves through the
 /// RequestQueue into a worker batch.
 struct ScoreRequest {

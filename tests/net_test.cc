@@ -1,0 +1,848 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_util.h"
+#include "core/dbg4eth.h"
+#include "eth/dataset.h"
+#include "eth/ledger.h"
+#include "net/client.h"
+#include "net/http.h"
+#include "net/scoring_app.h"
+#include "net/server.h"
+#include "serve/inference_service.h"
+#include "serve/types.h"
+
+namespace dbg4eth {
+namespace net {
+namespace {
+
+// ==========================================================================
+// json_util: the shared escape / writer / parser the obs exporters and the
+// HTTP layer both sit on.
+// ==========================================================================
+
+TEST(JsonUtil, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json::JsonEscape("plain"), "plain");
+  EXPECT_EQ(json::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::JsonEscape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(json::JsonEscape(std::string("\x01", 1)), "\\u0001");
+  std::string out = "pre:";
+  json::AppendJsonEscaped("x\r", &out);
+  EXPECT_EQ(out, "pre:x\\r");
+}
+
+TEST(JsonUtil, WriterProducesNestedDocument) {
+  std::string out;
+  json::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Key("name");
+  writer.String("a\"b");
+  writer.Key("items");
+  writer.BeginArray();
+  writer.Int(1);
+  writer.Bool(true);
+  writer.Null();
+  writer.BeginObject();
+  writer.Key("k");
+  writer.UInt(7);
+  writer.EndObject();
+  writer.EndArray();
+  writer.Key("raw");
+  writer.Raw("[3]");
+  writer.EndObject();
+  // Compact separators, one space after a key's colon (the format the
+  // obs JSON exporters golden-test against).
+  EXPECT_EQ(out,
+            "{\"name\": \"a\\\"b\",\"items\": [1,true,null,"
+            "{\"k\": 7}],\"raw\": [3]}");
+}
+
+TEST(JsonUtil, NumberRoundTripIsBitExact) {
+  const double values[] = {0.0,           1.0 / 3.0,      0.1,
+                           1e-17,         6.02214076e23,  -2.5e-8,
+                           0.49999999999999994};
+  for (double v : values) {
+    const std::string text = json::JsonNumberRoundTrip(v);
+    auto parsed = json::ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.ValueOrDie().number_value, v) << text;
+  }
+  EXPECT_EQ(json::JsonNumberRoundTrip(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(json::JsonNumberRoundTrip(
+                std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonUtil, ParsesDocumentsAndPreservesOrder) {
+  auto parsed = json::ParseJson(
+      " {\"b\": [1, -2.5e1, \"\\u0041\\n\"], \"a\": {\"x\": null}, "
+      "\"b\": false} ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::JsonValue& root = parsed.ValueOrDie();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_EQ(root.members.size(), 2u);  // Duplicate "b" keeps the first.
+  EXPECT_EQ(root.members[0].first, "b");
+  const json::JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_EQ(b->items[0].number_value, 1.0);
+  EXPECT_EQ(b->items[1].number_value, -25.0);
+  EXPECT_EQ(b->items[2].string_value, "A\n");
+  ASSERT_NE(root.Find("a"), nullptr);
+  EXPECT_TRUE(root.Find("a")->Find("x")->is_null());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonUtil, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::ParseJson("").ok());
+  EXPECT_FALSE(json::ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(json::ParseJson("{\"a\": tru}").ok());
+  EXPECT_FALSE(json::ParseJson("{\"a\": 1").ok());
+  EXPECT_FALSE(json::ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(json::ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(json::ParseJson("01").ok());
+  // Depth bound: 70 nested arrays against max_depth 64.
+  std::string deep(70, '[');
+  deep += std::string(70, ']');
+  EXPECT_FALSE(json::ParseJson(deep).ok());
+  EXPECT_TRUE(json::ParseJson(deep, /*max_depth=*/128).ok());
+}
+
+TEST(JsonUtil, AsInt64AcceptsExactIntegersOnly) {
+  auto value = [](const std::string& text) {
+    return json::ParseJson(text).ValueOrDie().AsInt64();
+  };
+  EXPECT_EQ(value("42").ValueOrDie(), 42);
+  EXPECT_EQ(value("-7").ValueOrDie(), -7);
+  EXPECT_EQ(value("4.0e1").ValueOrDie(), 40);
+  EXPECT_FALSE(value("1.5").ok());
+  EXPECT_FALSE(value("1e300").ok());
+  EXPECT_FALSE(value("\"42\"").ok());
+}
+
+// ==========================================================================
+// HttpParser: incremental parsing, pipelining and rejection paths.
+// ==========================================================================
+
+TEST(HttpParser, ParsesRequestDeliveredByteByByte) {
+  const std::string wire =
+      "POST /v1/score?debug=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 4\r\n"
+      "X-Deadline-US: 250\r\n"
+      "\r\n"
+      "body";
+  HttpParser parser;
+  for (char c : wire) {
+    ASSERT_NE(parser.Consume(&c, 1), HttpParser::State::kError);
+  }
+  ASSERT_EQ(parser.state(), HttpParser::State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path, "/v1/score");
+  EXPECT_EQ(request.query, "debug=1");
+  EXPECT_EQ(request.body, "body");
+  EXPECT_EQ(request.version_minor, 1);
+  // Header names are lower-cased at parse time.
+  const std::string* deadline = request.FindHeader("x-deadline-us");
+  ASSERT_NE(deadline, nullptr);
+  EXPECT_EQ(*deadline, "250");
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(HttpParser, ResetAdvancesThroughPipelinedRequests) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpParser parser;
+  ASSERT_EQ(parser.Consume(wire.data(), wire.size()),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  parser.Reset();
+  // The second pipelined request parses from leftovers, no new bytes.
+  ASSERT_EQ(parser.state(), HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_FALSE(parser.request().keep_alive());
+  parser.Reset();
+  EXPECT_EQ(parser.state(), HttpParser::State::kHeaders);
+  EXPECT_FALSE(parser.HasPartialRequest());
+}
+
+TEST(HttpParser, Http10DefaultsToClose) {
+  const std::string wire = "GET / HTTP/1.0\r\n\r\n";
+  HttpParser parser;
+  ASSERT_EQ(parser.Consume(wire.data(), wire.size()),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().version_minor, 0);
+  EXPECT_FALSE(parser.request().keep_alive());
+}
+
+TEST(HttpParser, RejectsOversizedHeaders431) {
+  HttpParserConfig config;
+  config.max_header_bytes = 128;
+  HttpParser parser(config);
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+  wire += std::string(200, 'a');
+  parser.Consume(wire.data(), wire.size());
+  ASSERT_EQ(parser.state(), HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, RejectsOversizedDeclaredBody413) {
+  HttpParserConfig config;
+  config.max_body_bytes = 64;
+  HttpParser parser(config);
+  // The declared length alone must reject — no body byte is sent.
+  const std::string wire =
+      "POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+  parser.Consume(wire.data(), wire.size());
+  ASSERT_EQ(parser.state(), HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, RejectsMalformedRequests400) {
+  const char* bad[] = {
+      "BOGUS\r\n\r\n",                                  // no target/version
+      "GET / HTTP/2.0\r\n\r\n",                         // unsupported version
+      "GET / HTTP/1.1\r\nBad Header: x\r\n\r\n",        // space in name
+      "GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",  // non-numeric length
+      "GET / HTTP/1.1\r\nContent-Length: 1\r\n"
+      "Content-Length: 2\r\n\r\n",                      // conflicting lengths
+  };
+  for (const char* wire : bad) {
+    HttpParser parser;
+    parser.Consume(wire, std::strlen(wire));
+    ASSERT_EQ(parser.state(), HttpParser::State::kError) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParser, RejectsChunkedTransferEncoding501) {
+  const std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  HttpParser parser;
+  parser.Consume(wire.data(), wire.size());
+  ASSERT_EQ(parser.state(), HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, HasPartialRequestDistinguishesIdleFromSlowloris) {
+  HttpParser parser;
+  EXPECT_FALSE(parser.HasPartialRequest());  // Idle keep-alive.
+  const std::string partial = "GET / HT";
+  parser.Consume(partial.data(), partial.size());
+  EXPECT_TRUE(parser.HasPartialRequest());  // Slowloris mid-request.
+}
+
+// ==========================================================================
+// Status -> HTTP mapping (deadline / shed / unavailable and friends).
+// ==========================================================================
+
+TEST(SuggestedHttpStatus, MapsServiceStatusesToWireCodes) {
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::OK()), 200);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::DeadlineExceeded("x")), 504);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::ResourceExhausted("x")), 429);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::Unavailable("x")), 503);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::FailedPrecondition("x")),
+            422);
+  EXPECT_EQ(serve::SuggestedHttpStatus(Status::Internal("x")), 500);
+}
+
+// ==========================================================================
+// HttpServer loopback: plain routes (no model), connection behavior.
+// ==========================================================================
+
+/// Reads from `fd` until the peer closes (or the socket's SO_RCVTIMEO
+/// fires) — for raw exchanges where the server responds and closes.
+std::string RecvUntilClose(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+HttpClientConfig FastClient() {
+  HttpClientConfig config;
+  config.io_timeout_us = 5'000'000;
+  return config;
+}
+
+std::unique_ptr<HttpServer> StartEchoServer(HttpServerConfig config) {
+  auto server = std::make_unique<HttpServer>(config);
+  server->Route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  server->Route("POST", "/echo", [](const HttpRequest& request) {
+    return HttpResponse::Text(
+        200, request.method + " " + request.path + " q=" + request.query +
+                 " b=" + request.body);
+  });
+  EXPECT_TRUE(server->Start().ok());
+  return server;
+}
+
+TEST(HttpServerTest, RoundTripsAndParsesTarget) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+
+  auto pong = client.Get("/ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong.ValueOrDie().status, 200);
+  EXPECT_EQ(pong.ValueOrDie().body, "pong\n");
+
+  auto echo = client.Post("/echo?x=1&y=2", "hello");
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo.ValueOrDie().status, 200);
+  EXPECT_EQ(echo.ValueOrDie().body, "POST /echo q=x=1&y=2 b=hello");
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, UnknownRoute404AndWrongMethod405) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+
+  auto missing = client.Get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.ValueOrDie().status, 404);
+  auto parsed = json::ParseJson(missing.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok()) << missing.ValueOrDie().body;
+  EXPECT_EQ(
+      parsed.ValueOrDie().Find("error")->Find("code")->number_value, 404);
+
+  // /echo exists, but only for POST.
+  auto wrong_method = client.Get("/echo");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.ValueOrDie().status, 405);
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, KeepAliveReusesOneConnection) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  for (int i = 0; i < 5; ++i) {
+    auto response = client.Get("/ping");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.ValueOrDie().status, 200);
+  }
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(server->requests_served(), 5u);
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAllAnswered) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client
+                  .SendRaw("GET /ping HTTP/1.1\r\n\r\n"
+                           "GET /ping HTTP/1.1\r\n"
+                           "Connection: close\r\n\r\n")
+                  .ok());
+  const std::string raw = RecvUntilClose(client.fd());
+  size_t bodies = 0;
+  for (size_t pos = 0; (pos = raw.find("pong\n", pos)) != std::string::npos;
+       pos += 5) {
+    ++bodies;
+  }
+  EXPECT_EQ(bodies, 2u) << raw;
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.SendRaw("BOGUS\r\n\r\n").ok());
+  const std::string raw = RecvUntilClose(client.fd());
+  EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 400"), 0) << raw;
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, OversizedBodyGets413) {
+  HttpServerConfig config;
+  config.max_body_bytes = 128;
+  auto server = StartEchoServer(config);
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  auto response = client.Post("/echo", std::string(1024, 'x'));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.ValueOrDie().status, 413);
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, SlowlorisHitsReadTimeout408) {
+  HttpServerConfig config;
+  config.read_timeout_us = 100'000;
+  config.sweep_interval_us = 20'000;
+  auto server = StartEchoServer(config);
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  ASSERT_TRUE(client.Connect().ok());
+  // Half a request, then silence: the sweep must answer 408 and close.
+  ASSERT_TRUE(client.SendRaw("GET /ping HTTP/1.1\r\nHost: lo").ok());
+  const std::string raw = RecvUntilClose(client.fd());
+  EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 408"), 0) << raw;
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, SaturatedHandlerPoolSheds503) {
+  HttpServerConfig config;
+  config.num_handler_threads = 1;
+  config.handler_queue_capacity = 1;
+  auto server = std::make_unique<HttpServer>(config);
+  server->Route("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return HttpResponse::Text(200, "done\n");
+  });
+  ASSERT_TRUE(server->Start().ok());
+
+  constexpr int kClients = 5;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      HttpClient client("127.0.0.1", server->port(), FastClient());
+      auto response = client.Get("/slow");
+      if (!response.ok()) return;
+      if (response.ValueOrDie().status == 200) ++ok_count;
+      if (response.ValueOrDie().status == 503) ++shed_count;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 1 running + 1 queued make it; at least one of the rest is shed.
+  EXPECT_GE(ok_count.load(), 1);
+  EXPECT_GE(shed_count.load(), 1);
+  EXPECT_EQ(ok_count.load() + shed_count.load(), kClients);
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, GracefulDrainCompletesInflightRequests) {
+  auto server = std::make_unique<HttpServer>(HttpServerConfig());
+  server->Route("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return HttpResponse::Text(200, "done\n");
+  });
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  int status = 0;
+  std::string body;
+  std::thread inflight([&] {
+    HttpClient client("127.0.0.1", port, FastClient());
+    auto response = client.Get("/slow");
+    if (response.ok()) {
+      status = response.ValueOrDie().status;
+      body = response.ValueOrDie().body;
+    }
+  });
+  // Let the request reach the handler, then start the drain while it is
+  // still sleeping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->Shutdown();
+  inflight.join();
+
+  EXPECT_EQ(status, 200) << "in-flight request was not drained";
+  EXPECT_EQ(body, "done\n");
+  // The listener is gone: new connections are refused.
+  HttpClient late("127.0.0.1", port, FastClient());
+  EXPECT_FALSE(late.Connect().ok());
+  EXPECT_EQ(server->open_connections(), 0);
+}
+
+TEST(HttpServerTest, ConcurrentClientsHammer) {
+  HttpServerConfig config;
+  config.num_loops = 2;
+  config.num_handler_threads = 4;
+  auto server = StartEchoServer(config);
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", server->port(), FastClient());
+      for (int i = 0; i < kRequests; ++i) {
+        auto response = (i + t) % 3 == 0
+                            ? client.Post("/echo", "ping")
+                            : client.Get("/ping");
+        if (!response.ok() || response.ValueOrDie().status != 200) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server->requests_served(),
+            uint64_t{kThreads} * uint64_t{kRequests});
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, ShutdownIsIdempotentAndStartAfterRouteOnly) {
+  auto server = StartEchoServer(HttpServerConfig());
+  server->Shutdown();
+  server->Shutdown();  // Second call must be a no-op.
+  EXPECT_EQ(server->open_connections(), 0);
+}
+
+// ==========================================================================
+// Scoring API end to end: a real (tiny) trained model behind the server.
+// ==========================================================================
+
+/// Shared workload: one ledger, one trained checkpoint, one service and
+/// one HTTP server — built once, because training dominates the runtime.
+class NetScoringTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eth::LedgerConfig lc;
+    lc.num_normal = 500;
+    lc.num_exchange = 13;
+    lc.num_ico_wallet = 8;
+    lc.num_mining = 8;
+    lc.num_phish_hack = 12;
+    lc.num_bridge = 8;
+    lc.num_defi = 8;
+    lc.duration_days = 90.0;
+    lc.seed = 41;
+    ledger_ = new eth::LedgerSimulator(lc);
+    ASSERT_TRUE(ledger_->Generate().ok());
+
+    eth::DatasetConfig dc;
+    dc.target = eth::AccountClass::kExchange;
+    dc.max_positives = 10;
+    dc.sampling = Sampling();
+    dc.num_time_slices = kTimeSlices;
+    dc.seed = 3;
+    auto ds = eth::BuildDataset(*ledger_, dc);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    auto dataset = std::move(ds).ValueOrDie();
+
+    core::Dbg4EthConfig config;
+    config.gsg.hidden_dim = 12;
+    config.gsg.num_heads = 2;
+    config.gsg.epochs = 2;
+    config.gsg.batch_size = 8;
+    config.ldg.hidden_dim = 12;
+    config.ldg.num_time_slices = kTimeSlices;
+    config.ldg.first_level_clusters = 4;
+    config.ldg.epochs = 2;
+    model_ = new core::Dbg4Eth(config);
+    Rng rng(config.seed);
+    const ml::SplitIndices split = ml::StratifiedSplit(
+        dataset.labels(), config.train_fraction, config.val_fraction, &rng);
+    ASSERT_TRUE(model_->Train(&dataset, split).ok());
+
+    std::stringstream checkpoint;
+    ASSERT_TRUE(model_->Save(&checkpoint).ok());
+
+    serve::InferenceServiceConfig sc;
+    sc.num_workers = 2;
+    sc.queue.max_batch = 4;
+    sc.queue.max_wait_us = 500;
+    sc.cache.capacity = 256;
+    sc.cache.num_shards = 4;
+    sc.sampling = Sampling();
+    sc.num_time_slices = kTimeSlices;
+    auto created = serve::InferenceService::Create(sc, &checkpoint, ledger_);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    service_ = std::move(created).ValueOrDie().release();
+
+    server_ = new HttpServer(HttpServerConfig());
+    ScoringAppConfig app_config;
+    app_config.max_batch_addresses = 8;
+    app_ = new ScoringApp(service_, server_, app_config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Shutdown();
+    delete app_;
+    delete server_;
+    delete service_;
+    delete model_;
+    delete ledger_;
+    app_ = nullptr;
+    server_ = nullptr;
+    service_ = nullptr;
+    model_ = nullptr;
+    ledger_ = nullptr;
+  }
+
+  static graph::SamplingConfig Sampling() {
+    graph::SamplingConfig sampling;
+    sampling.top_k = 5;
+    sampling.max_nodes = 40;
+    return sampling;
+  }
+
+  static HttpClient MakeClient() {
+    return HttpClient("127.0.0.1", server_->port(), FastClient());
+  }
+
+  /// POSTs {"address": N} to /v1/score and returns the raw response.
+  static HttpResponse ScoreOverHttp(
+      eth::AccountId address,
+      const std::vector<std::pair<std::string, std::string>>& headers = {}) {
+    HttpClient client = MakeClient();
+    auto response = client.Post(
+        "/v1/score", "{\"address\": " + std::to_string(address) + "}",
+        headers);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? response.ValueOrDie() : HttpResponse();
+  }
+
+  static constexpr int kTimeSlices = 4;
+  static eth::LedgerSimulator* ledger_;
+  static core::Dbg4Eth* model_;
+  static serve::InferenceService* service_;
+  static HttpServer* server_;
+  static ScoringApp* app_;
+};
+
+eth::LedgerSimulator* NetScoringTest::ledger_ = nullptr;
+core::Dbg4Eth* NetScoringTest::model_ = nullptr;
+serve::InferenceService* NetScoringTest::service_ = nullptr;
+HttpServer* NetScoringTest::server_ = nullptr;
+ScoringApp* NetScoringTest::app_ = nullptr;
+
+TEST_F(NetScoringTest, HttpScoreIsBitIdenticalToInProcessPredictProba) {
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    const eth::AccountId address = exchanges[i];
+
+    // In-process reference: materialize + normalize + predict, exactly
+    // what the service's cold path runs.
+    auto inst = eth::MaterializeInstance(*ledger_, address, Sampling(),
+                                         kTimeSlices);
+    ASSERT_TRUE(inst.ok());
+    model_->Normalize(&inst.ValueOrDie());
+    const double expected = model_->PredictProba(inst.ValueOrDie());
+
+    const HttpResponse response = ScoreOverHttp(address);
+    ASSERT_EQ(response.status, 200) << response.body;
+    auto parsed = json::ParseJson(response.body);
+    ASSERT_TRUE(parsed.ok()) << response.body;
+    const json::JsonValue& root = parsed.ValueOrDie();
+    ASSERT_NE(root.Find("score"), nullptr);
+
+    // Bit-identical: the double parsed off the wire compares == to the
+    // in-process result (round-trip serialization, not approximation).
+    EXPECT_EQ(root.Find("score")->number_value, expected)
+        << "address " << address;
+    ASSERT_TRUE(root.Find("probabilities")->is_array());
+    ASSERT_EQ(root.Find("probabilities")->items.size(), 2u);
+    EXPECT_EQ(root.Find("probabilities")->items[1].number_value,
+              root.Find("score")->number_value);
+    EXPECT_EQ(root.Find("stale")->bool_value, false);
+    ASSERT_NE(root.Find("model_generation"), nullptr);
+    ASSERT_NE(root.Find("ledger_height"), nullptr);
+  }
+}
+
+TEST_F(NetScoringTest, BatchEndpointMatchesSingleScores) {
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 4u);
+  std::string body = "{\"addresses\": [";
+  for (size_t i = 0; i < 4; ++i) {
+    if (i > 0) body += ", ";
+    body += std::to_string(exchanges[i]);
+  }
+  body += "]}";
+
+  HttpClient client = MakeClient();
+  auto response = client.Post("/v1/score_batch", body);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.ValueOrDie().status, 200)
+      << response.ValueOrDie().body;
+  auto parsed = json::ParseJson(response.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok());
+  const json::JsonValue& root = parsed.ValueOrDie();
+  ASSERT_NE(root.Find("results"), nullptr);
+  ASSERT_EQ(root.Find("results")->items.size(), 4u);
+  EXPECT_EQ(root.Find("failures")->number_value, 0.0);
+  for (size_t i = 0; i < 4; ++i) {
+    const json::JsonValue& item = root.Find("results")->items[i];
+    EXPECT_EQ(item.Find("address")->number_value,
+              static_cast<double>(exchanges[i]));
+    // Must agree exactly with the in-process service result.
+    const serve::ScoreResult direct = service_->Score(exchanges[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(item.Find("score")->number_value, direct.probability);
+  }
+}
+
+TEST_F(NetScoringTest, UnknownAddressMapsToClientError) {
+  // An id outside the ledger is kInvalidArgument on the service side and
+  // a 400 on the wire, with the status mirrored in the error body.
+  const HttpResponse response = ScoreOverHttp(999'999'999);
+  EXPECT_EQ(response.status, 400);
+  auto parsed = json::ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(
+      parsed.ValueOrDie().Find("error")->Find("code")->number_value, 400);
+}
+
+TEST_F(NetScoringTest, ExpiredDeadlineMapsTo504) {
+  // A class no other test scores, so the result cache cannot satisfy the
+  // request before the deadline check.
+  const auto mining = ledger_->AccountsOfClass(eth::AccountClass::kMining);
+  ASSERT_FALSE(mining.empty());
+  const HttpResponse response =
+      ScoreOverHttp(mining.front(), {{"x-deadline-us", "1"}});
+  EXPECT_EQ(response.status, 504) << response.body;
+}
+
+TEST_F(NetScoringTest, BadRequestsMapTo400) {
+  HttpClient client = MakeClient();
+
+  auto malformed = client.Post("/v1/score", "{\"address\": ");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed.ValueOrDie().status, 400);
+
+  auto missing = client.Post("/v1/score", "{\"addr\": 1}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.ValueOrDie().status, 400);
+
+  auto not_int = client.Post("/v1/score", "{\"address\": 1.5}");
+  ASSERT_TRUE(not_int.ok());
+  EXPECT_EQ(not_int.ValueOrDie().status, 400);
+
+  auto out_of_range = client.Post("/v1/score", "{\"address\": 5000000000}");
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.ValueOrDie().status, 400);
+
+  auto bad_deadline = client.Post("/v1/score", "{\"address\": 1}",
+                                  {{"x-deadline-us", "-5"}});
+  ASSERT_TRUE(bad_deadline.ok());
+  EXPECT_EQ(bad_deadline.ValueOrDie().status, 400);
+}
+
+TEST_F(NetScoringTest, OversizedBatchMapsTo413) {
+  std::string body = "{\"addresses\": [";
+  for (int i = 0; i < 9; ++i) {  // Fixture app limit is 8.
+    if (i > 0) body += ", ";
+    body += std::to_string(i);
+  }
+  body += "]}";
+  HttpClient client = MakeClient();
+  auto response = client.Post("/v1/score_batch", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.ValueOrDie().status, 413);
+}
+
+TEST_F(NetScoringTest, MetricsEndpointExposesNetFamilies) {
+  HttpClient client = MakeClient();
+  // The net_* counter families are created lazily when a request
+  // completes; serve one request first so the scrape below (which is
+  // itself mid-flight when the exposition is rendered) sees them.
+  auto warmup = client.Get("/healthz");
+  ASSERT_TRUE(warmup.ok());
+  auto response = client.Get("/metrics");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.ValueOrDie().status, 200);
+  const HttpResponse& metrics = response.ValueOrDie();
+  const std::string* content_type = nullptr;
+  for (const auto& header : metrics.headers) {
+    if (header.first == "content-type") content_type = &header.second;
+  }
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("net_connections"), std::string::npos);
+  EXPECT_NE(metrics.body.find("net_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("net_request_us"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+}
+
+TEST_F(NetScoringTest, HealthzAndStatusz) {
+  HttpClient client = MakeClient();
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.ValueOrDie().status, 200);
+  EXPECT_EQ(health.ValueOrDie().body, "ok\n");
+
+  auto statusz = client.Get("/statusz");
+  ASSERT_TRUE(statusz.ok());
+  ASSERT_EQ(statusz.ValueOrDie().status, 200);
+  auto parsed = json::ParseJson(statusz.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok()) << statusz.ValueOrDie().body;
+  const json::JsonValue& root = parsed.ValueOrDie();
+  ASSERT_NE(root.Find("service"), nullptr);
+  ASSERT_NE(root.Find("service")->Find("requests"), nullptr);
+  ASSERT_NE(root.Find("model_generation"), nullptr);
+  ASSERT_NE(root.Find("http"), nullptr);
+  EXPECT_EQ(root.Find("http")->Find("address")->string_value,
+            server_->address());
+  ASSERT_NE(root.Find("obs"), nullptr);
+  // Both requests rode one keep-alive connection.
+  EXPECT_EQ(client.connects(), 1u);
+}
+
+TEST_F(NetScoringTest, ConcurrentScoringClientsAgree) {
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 4u);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> scores(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client = MakeClient();
+      for (int i = 0; i < 8; ++i) {
+        const eth::AccountId address = exchanges[(t + i) % 4];
+        auto response = client.Post(
+            "/v1/score",
+            "{\"address\": " + std::to_string(address) + "}");
+        if (!response.ok() || response.ValueOrDie().status != 200) {
+          ++failures;
+          scores[t].push_back(-1.0);
+          continue;
+        }
+        auto parsed = json::ParseJson(response.ValueOrDie().body);
+        scores[t].push_back(
+            parsed.ok() ? parsed.ValueOrDie().Find("score")->number_value
+                        : -1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  // Every thread saw the same score per address.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 8; ++i) {
+      const int canonical_thread = (4 + ((t + i) % 4) - t) % 4;
+      // scores[t][i] belongs to exchanges[(t + i) % 4]; compare against
+      // thread 0's sample of the same address.
+      const int j = (4 + ((t + i) % 4) - 0) % 4;
+      EXPECT_EQ(scores[t][i], scores[0][j])
+          << "thread " << t << " request " << i << " (canonical thread "
+          << canonical_thread << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dbg4eth

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification flow: the tier-1 gate (which includes the tier1_resume
-# kill-and-resume determinism matrix), the observability and serving suites
-# under ThreadSanitizer (including the model hot-swap hammer), a
-# failpoint-enabled kill -> resume -> hot-reload chaos smoke, and a
+# kill-and-resume determinism matrix and the tier1_net HTTP loopback
+# suite), an end-to-end HTTP smoke (demo server + curl + graceful SIGTERM),
+# the observability, serving and network suites under ThreadSanitizer
+# (including the model hot-swap hammer and the net chaos fault injection),
+# a failpoint-enabled kill -> resume -> hot-reload chaos smoke, and a
 # serving-latency regression guard against the committed BENCH_serve.json.
 #
 #   tools/check.sh            # tier-1 + tsan obs/serve
@@ -27,6 +29,44 @@ echo "=== tier-1: configure + build + ctest (build/) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest -L tier1 --no-tests=error --output-on-failure -j"$(nproc)")
+
+if [[ "${fast}" != "1" ]]; then
+  echo "=== http smoke: demo server up -> curl healthz/metrics/score -> graceful SIGTERM ==="
+  cmake --build build -j --target example_http_server_demo >/dev/null
+  smoke_dir="$(mktemp -d /tmp/dbg4eth_http_smoke.XXXXXX)"
+  smoke_log="${smoke_dir}/server.log"
+  smoke_port=18742
+  ./build/examples/example_http_server_demo \
+      --port="${smoke_port}" --ckpt-dir="${smoke_dir}/ckpt" \
+      > "${smoke_log}" 2>&1 &
+  smoke_pid=$!
+  trap 'kill -9 "${smoke_pid}" 2>/dev/null || true; rm -rf "${smoke_dir}"' EXIT
+  # First run trains the demo model before binding; wait for the banner.
+  for _ in $(seq 1 600); do
+    grep -q "listening on" "${smoke_log}" && break
+    kill -0 "${smoke_pid}" 2>/dev/null || { cat "${smoke_log}"; exit 1; }
+    sleep 0.5
+  done
+  grep -q "listening on" "${smoke_log}" || { cat "${smoke_log}"; exit 1; }
+  base="http://127.0.0.1:${smoke_port}"
+  [[ "$(curl -sf "${base}/healthz")" == "ok" ]]
+  # grep without -q: -q would close the pipe early and fail curl under
+  # pipefail with a write error.
+  curl -sf "${base}/metrics" | grep "^net_requests_total" >/dev/null
+  score_addr="$(grep -o '"address": [0-9]*' "${smoke_log}" | head -1 | grep -o '[0-9]*')"
+  curl -sf -X POST "${base}/v1/score" -d "{\"address\": ${score_addr}}" \
+      | grep '"score": ' >/dev/null
+  kill -TERM "${smoke_pid}"
+  smoke_status=0
+  wait "${smoke_pid}" || smoke_status=$?
+  trap - EXIT
+  rm -rf "${smoke_dir}"
+  if [[ "${smoke_status}" != "0" ]]; then
+    echo "http smoke: server exited ${smoke_status} (graceful drain failed)"
+    exit 1
+  fi
+  echo "  http smoke passed (server drained and exited 0)"
+fi
 
 if [[ "${bench}" == "1" ]]; then
   echo "=== bench-regression guard: cold p50/p95 vs committed BENCH_serve.json ==="
@@ -86,6 +126,14 @@ echo "=== tsan: obs suite (ctest -L obs) ==="
 echo "=== tsan: serve + chaos + inference fast-path suites ==="
 (cd build-tsan && ctest -R "Serve|ServerStats|ThreadPool|RequestQueue|ResultCache|InferenceArena|TapeFree|FastPath|MaskedAttentionAlpha|PackedBlocks|ModelRegistry" \
     --no-tests=error --output-on-failure -j"$(nproc)")
+
+# The network suite carries the event loops' cross-thread handoffs
+# (acceptor -> loop inbox -> handler pool -> loop completion), and the
+# net chaos tests inject accept/read/write faults under that concurrency
+# — both must be clean under tsan.
+echo "=== tsan: net suite + net chaos (ctest -L net / -R NetChaos) ==="
+(cd build-tsan && ctest -L net --no-tests=error --output-on-failure -j"$(nproc)")
+(cd build-tsan && ctest -R "NetChaos" --no-tests=error --output-on-failure -j"$(nproc)")
 
 # The tsan preset compiles with DBG4ETH_FAILPOINTS=ON, so this stage
 # actually injects the faults; in the default build these tests skip.
