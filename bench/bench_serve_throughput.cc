@@ -70,7 +70,11 @@ double Drive(serve::InferenceService* service,
     clients.emplace_back([service, &addresses, c] {
       std::vector<std::future<serve::ScoreResult>> pending;
       for (size_t i = c; i < addresses.size(); i += kClients) {
-        pending.push_back(service->ScoreAsync(addresses[i]));
+        // Per-request trace ids, as a production caller would send: the
+        // measured path includes context stamping and exemplar capture.
+        pending.push_back(service->ScoreAsync(
+            addresses[i], /*deadline_us=*/0,
+            "bench-" + std::to_string(c) + "-" + std::to_string(i)));
       }
       for (auto& future : pending) (void)future.get();
     });

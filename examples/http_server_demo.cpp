@@ -182,6 +182,9 @@ int main(int argc, char** argv) {
   // --- HTTP front end ---
   net::HttpServerConfig http_config;
   http_config.port = port;
+  // The demo is the place to watch requests flow: one structured line per
+  // request, trace id included, correlatable with /debug/traces.
+  http_config.access_log = true;
   net::HttpServer server(http_config);
   net::ScoringApp app(&service, &server);
   const Status started = server.Start();

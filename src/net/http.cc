@@ -282,6 +282,79 @@ void HttpParser::ParseHeaderBlock(size_t header_end) {
   }
 }
 
+namespace {
+
+bool IsLowerHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+bool IsHexRun(const std::string& s, size_t pos, size_t n) {
+  bool all_zero = true;
+  for (size_t i = pos; i < pos + n; ++i) {
+    const char c = s[i];
+    if (!IsLowerHex(c) && !(c >= 'A' && c <= 'F')) return false;
+    if (c != '0') all_zero = false;
+  }
+  return !all_zero;
+}
+
+}  // namespace
+
+bool ParseTraceparent(const std::string& value, std::string* trace_id) {
+  // version(2) - trace-id(32) - parent-id(16) - flags(2); later versions
+  // may append fields after the flags, so >= 55 with dashed layout.
+  if (value.size() < 55) return false;
+  if (value[2] != '-' || value[35] != '-' || value[52] != '-') return false;
+  if (!IsHexRun(value, 0, 2) && value.compare(0, 2, "00") != 0) return false;
+  if (value.compare(0, 2, "ff") == 0) return false;  // Forbidden version.
+  if (!IsHexRun(value, 3, 32)) return false;   // Rejects all-zero too.
+  if (!IsHexRun(value, 36, 16)) return false;  // parent-id, also non-zero.
+  std::string id = value.substr(3, 32);
+  for (char& c : id) {
+    if (c >= 'A' && c <= 'F') c = static_cast<char>(c - 'A' + 'a');
+  }
+  *trace_id = std::move(id);
+  return true;
+}
+
+std::string ExtractTraceId(const HttpRequest& request) {
+  if (const std::string* traceparent = request.FindHeader("traceparent")) {
+    std::string trace_id;
+    if (ParseTraceparent(*traceparent, &trace_id)) return trace_id;
+  }
+  if (const std::string* request_id = request.FindHeader("x-request-id")) {
+    std::string sanitized;
+    for (char c : *request_id) {
+      const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                      (c >= 'A' && c <= 'Z') || c == '-' || c == '_' ||
+                      c == '.';
+      if (ok) sanitized += c;
+      if (sanitized.size() >= 64) break;
+    }
+    return sanitized;
+  }
+  return "";
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    // A bare token ("?error") is a flag-style parameter with value "".
+    if (eq == std::string::npos || eq >= amp) {
+      if (query.compare(pos, amp - pos, key) == 0) return "";
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
 void HttpParser::Reset() {
   if (state_ != State::kComplete) return;
   buffer_.erase(0, consumed_);

@@ -65,6 +65,25 @@ struct HttpResponse {
 /// connection state machine agree on what happens after the body.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+/// Parses a W3C `traceparent` header value
+/// (`version-traceid-parentid-flags`, e.g.
+/// `00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01`): returns
+/// true and fills `trace_id` with the 32-hex trace id when the value is
+/// well-formed and the trace id is not all-zero (all-zero is explicitly
+/// invalid per the spec). Accepts any version byte except "ff".
+bool ParseTraceparent(const std::string& value, std::string* trace_id);
+
+/// Correlation id of `request`, in preference order: the `traceparent`
+/// trace id; else an `x-request-id` value sanitized to [A-Za-z0-9._-]
+/// and truncated to 64 chars (so client-supplied ids can never corrupt
+/// logs, label values, or the exposition); else "".
+std::string ExtractTraceId(const HttpRequest& request);
+
+/// Value of `key` in a query string ("a=1&b=2" — the split-off
+/// HttpRequest::query). No percent-decoding (debug-route parameters are
+/// plain tokens); "" when absent.
+std::string QueryParam(const std::string& query, const std::string& key);
+
 /// \brief Limits of the request parser.
 struct HttpParserConfig {
   /// Request line + headers, bytes. Exceeding rejects with 431.

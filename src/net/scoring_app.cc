@@ -1,8 +1,10 @@
 #include "net/scoring_app.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <future>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +12,8 @@
 #include "common/json_util.h"
 #include "common/string_util.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "serve/server_stats.h"
 #include "serve/types.h"
 
@@ -42,6 +46,10 @@ void WriteScoreResult(const serve::ScoreResult& result,
     writer->Bool(result.cache_hit);
     writer->Key("retries");
     writer->Int(result.retries);
+    if (!result.trace_id.empty()) {
+      writer->Key("trace_id");
+      writer->String(result.trace_id);
+    }
   } else {
     writer->Key("error");
     writer->BeginObject();
@@ -70,6 +78,15 @@ ScoringApp::ScoringApp(serve::InferenceService* service, HttpServer* server,
                  [this](const HttpRequest& r) { return HandleHealthz(r); });
   server_->Route("GET", "/statusz",
                  [this](const HttpRequest& r) { return HandleStatusz(r); });
+  server_->Route("GET", "/debug/traces", [this](const HttpRequest& r) {
+    return HandleDebugTraces(r);
+  });
+  server_->Route("GET", "/debug/profile", [this](const HttpRequest& r) {
+    return HandleDebugProfile(r);
+  });
+  server_->Route("GET", "/debug/vars", [this](const HttpRequest& r) {
+    return HandleDebugVars(r);
+  });
 }
 
 bool ScoringApp::ParseDeadline(const HttpRequest& request,
@@ -110,10 +127,15 @@ HttpResponse ScoringApp::HandleScore(const HttpRequest& request) {
     return HttpResponse::Error(400, "address must be a 32-bit integer");
   }
 
+  // The server resolved and injected the canonical trace id at dispatch;
+  // riding it into ScoreAsync stamps the cold path's span tree and the
+  // latency exemplar with the id the response header already carries.
+  const std::string* trace_id = request.FindHeader("x-trace-id");
   const serve::ScoreResult result =
       service_
           ->ScoreAsync(static_cast<eth::AccountId>(id.ValueOrDie()),
-                       deadline_us)
+                       deadline_us,
+                       trace_id != nullptr ? *trace_id : std::string())
           .get();
   std::string body;
   json::JsonWriter writer(&body);
@@ -157,11 +179,15 @@ HttpResponse ScoringApp::HandleScoreBatch(const HttpRequest& request) {
   }
 
   // Fan the whole batch out first so the service can micro-batch it into
-  // packed forwards, then gather in order.
+  // packed forwards, then gather in order. Every item shares the batch
+  // request's trace id: one HTTP request, one correlation id.
+  const std::string* trace_header = request.FindHeader("x-trace-id");
+  const std::string trace_id =
+      trace_header != nullptr ? *trace_header : std::string();
   std::vector<std::future<serve::ScoreResult>> pending;
   pending.reserve(ids.size());
   for (eth::AccountId id : ids) {
-    pending.push_back(service_->ScoreAsync(id, deadline_us));
+    pending.push_back(service_->ScoreAsync(id, deadline_us, trace_id));
   }
   std::string body;
   json::JsonWriter writer(&body);
@@ -192,6 +218,95 @@ HttpResponse ScoringApp::HandleMetrics(const HttpRequest&) {
 
 HttpResponse ScoringApp::HandleHealthz(const HttpRequest&) {
   return HttpResponse::Text(200, "ok\n");
+}
+
+HttpResponse ScoringApp::HandleDebugTraces(const HttpRequest& request) {
+  obs::Tracer* tracer = obs::Tracer::Global();
+
+  const std::string wanted_id = QueryParam(request.query, "id");
+  std::vector<obs::SpanNode> traces;
+  if (!wanted_id.empty()) {
+    std::optional<obs::SpanNode> found = tracer->FindTrace(wanted_id);
+    if (!found.has_value()) {
+      return HttpResponse::Error(404,
+                                 "no retained trace with id '" + wanted_id +
+                                     "' (traces are sampled; errors and "
+                                     "slow requests are always kept)");
+    }
+    traces.push_back(*std::move(found));
+  } else {
+    traces = tracer->Snapshot();
+    const std::string min_duration = QueryParam(request.query, "min_duration_us");
+    if (!min_duration.empty()) {
+      char* end = nullptr;
+      const double threshold = std::strtod(min_duration.c_str(), &end);
+      if (end == min_duration.c_str() || *end != '\0' || threshold < 0) {
+        return HttpResponse::Error(
+            400, "min_duration_us must be a non-negative number, got '" +
+                     min_duration + "'");
+      }
+      traces.erase(std::remove_if(traces.begin(), traces.end(),
+                                  [threshold](const obs::SpanNode& node) {
+                                    return node.duration_us < threshold;
+                                  }),
+                   traces.end());
+    }
+    if (QueryParam(request.query, "error") == "1") {
+      traces.erase(std::remove_if(traces.begin(), traces.end(),
+                                  [](const obs::SpanNode& node) {
+                                    return !node.error;
+                                  }),
+                   traces.end());
+    }
+  }
+
+  std::string body;
+  json::JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Key("roots_finished");
+  writer.UInt(tracer->roots_finished());
+  writer.Key("traces");
+  writer.BeginArray();
+  for (const obs::SpanNode& node : traces) {
+    obs::AppendSpanJson(node, &writer);
+  }
+  writer.EndArray();
+  writer.EndObject();
+  body += "\n";
+  return HttpResponse::Json(200, std::move(body));
+}
+
+HttpResponse ScoringApp::HandleDebugProfile(const HttpRequest& request) {
+  double seconds = 1.0;
+  const std::string param = QueryParam(request.query, "seconds");
+  if (!param.empty()) {
+    char* end = nullptr;
+    seconds = std::strtod(param.c_str(), &end);
+    if (end == param.c_str() || *end != '\0' || seconds <= 0) {
+      return HttpResponse::Error(
+          400, "seconds must be a positive number, got '" + param + "'");
+    }
+  }
+  seconds = std::min(seconds, config_.max_profile_seconds);
+
+  // The capture blocks this handler thread for `seconds` — acceptable
+  // because the handler pool has more threads and scoring keeps flowing.
+  std::string folded;
+  const Status status = obs::Profiler::Global()->ProfileFor(seconds, &folded);
+  if (!status.ok()) {
+    // One timer per process: a concurrent capture is a client-retryable
+    // conflict; an environment with profiling disabled is a 503.
+    const bool busy =
+        status.message().find("already in progress") != std::string::npos;
+    return HttpResponse::Error(busy ? 409 : 503, status.message());
+  }
+  return HttpResponse::Text(200, std::move(folded));
+}
+
+HttpResponse ScoringApp::HandleDebugVars(const HttpRequest&) {
+  std::string body = obs::JsonSnapshot();
+  body += "\n";
+  return HttpResponse::Json(200, std::move(body));
 }
 
 HttpResponse ScoringApp::HandleStatusz(const HttpRequest&) {

@@ -17,6 +17,9 @@ struct ScoringAppConfig {
   int64_t max_deadline_us = 60'000'000;
   /// Address-count bound of one /v1/score_batch body.
   size_t max_batch_addresses = 256;
+  /// Largest accepted `/debug/profile?seconds=` value; larger asks are
+  /// clamped (the capture blocks one handler thread for its duration).
+  double max_profile_seconds = 30.0;
 };
 
 /// \brief The HTTP face of InferenceService: scoring + admin endpoints.
@@ -29,6 +32,20 @@ struct ScoringAppConfig {
 ///   GET  /statusz         JSON: ServerStats snapshot, model generation,
 ///                         ledger height, HTTP-server counters, and the
 ///                         obs metrics + span snapshot
+///   GET  /debug/traces    retained trace trees as JSON; filters:
+///                         ?id=<trace-id> (exact), ?min_duration_us=N,
+///                         ?error=1 (failed traces only)
+///   GET  /debug/profile   ?seconds=N (default 1): samples the process
+///                         for N seconds, returns collapsed-stack text
+///                         for flamegraph tools; 409 while another
+///                         capture runs, 503 where profiling is disabled
+///   GET  /debug/vars      the obs JSON snapshot (metrics + spans)
+///
+/// Trace propagation: the server resolves each request's trace id from
+/// `traceparent`/`x-request-id` (generating one otherwise) and injects it
+/// as `x-trace-id`; the scoring handlers carry it into
+/// InferenceService::ScoreAsync so span trees and latency exemplars are
+/// stamped with the same id the response returns.
 ///
 /// Deadline propagation: an `x-deadline-us` request header (microsecond
 /// budget from arrival, clamped to `max_deadline_us`) rides into
@@ -55,6 +72,9 @@ class ScoringApp {
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request);
   HttpResponse HandleStatusz(const HttpRequest& request);
+  HttpResponse HandleDebugTraces(const HttpRequest& request);
+  HttpResponse HandleDebugProfile(const HttpRequest& request);
+  HttpResponse HandleDebugVars(const HttpRequest& request);
 
   /// Parses the `x-deadline-us` header; 0 when absent. Negative or
   /// non-numeric values are reported via `error`.

@@ -17,6 +17,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace dbg4eth {
 namespace net {
@@ -47,6 +48,20 @@ const char kOverCapacityResponse[] =
     "{\"error\": {\"code\": 503, \"message\": \"over capacity\"}}\n";
 
 }  // namespace
+
+std::string FormatAccessLogLine(const std::string& method,
+                                const std::string& route, int code,
+                                double duration_us,
+                                const std::string& trace_id) {
+  const bool shed = code == 429 || code == 503;
+  const bool deadline = code == 408 || code == 504;
+  return "http_access method=" + (method.empty() ? "-" : method) +
+         " route=" + (route.empty() ? "-" : route) +
+         StrFormat(" code=%d", code) +
+         StrFormat(" duration_us=%.1f", duration_us) +
+         " trace_id=" + (trace_id.empty() ? "-" : trace_id) +
+         StrFormat(" shed=%d deadline=%d", shed ? 1 : 0, deadline ? 1 : 0);
+}
 
 HttpServer::HttpServer(const HttpServerConfig& config) : config_(config) {
   config_.num_loops = std::max(1, config_.num_loops);
@@ -326,7 +341,7 @@ void HttpServer::EventLoop(Loop* loop) {
       if (it == loop->conns.end()) continue;  // Peer went away; drop it.
       Conn* conn = it->second.get();
       conn->handler_inflight = false;
-      StageResponse(loop, conn, completion.response,
+      StageResponse(loop, conn, std::move(completion.response),
                     conn->request_keep_alive);
     }
 
@@ -457,6 +472,11 @@ void HttpServer::AdvanceParse(Loop* loop, Conn* conn) {
     case HttpParser::State::kError: {
       parse_errors_total_->Inc();
       conn->route_label = "unmatched";
+      conn->method = "";
+      // The request never parsed, so any client-sent traceparent is
+      // untrusted bytes; a fresh id still lets the client correlate the
+      // rejection with the server's log line.
+      conn->trace_id = obs::GenerateTraceId();
       conn->request_start = std::chrono::steady_clock::now();
       StageResponse(loop, conn,
                     HttpResponse::Error(conn->parser.error_status(),
@@ -477,6 +497,16 @@ void HttpServer::DispatchRequest(Loop* loop, Conn* conn) {
   HttpRequest request = conn->parser.TakeRequest();
   conn->request_keep_alive = request.keep_alive();
   conn->route_label = "unmatched";
+  conn->method = request.method;
+
+  // Resolve the request's correlation id once, here at the edge: the
+  // client's traceparent (or x-request-id) wins, else a fresh id. The
+  // canonical id is injected into the request as `x-trace-id` so every
+  // handler — and the scoring path behind it — reads the same value the
+  // response will carry.
+  conn->trace_id = ExtractTraceId(request);
+  if (conn->trace_id.empty()) conn->trace_id = obs::GenerateTraceId();
+  request.headers.emplace_back("x-trace-id", conn->trace_id);
 
   const RouteEntry* match = nullptr;
   bool path_seen = false;
@@ -550,11 +580,24 @@ void HttpServer::RecordRequestMetrics(const Conn& conn, int code) {
 }
 
 void HttpServer::StageResponse(Loop* loop, Conn* conn,
-                               const HttpResponse& response,
-                               bool keep_alive) {
+                               HttpResponse response, bool keep_alive) {
   // A draining server closes after the in-flight response.
   const bool persist = keep_alive && !draining();
+  // Error paths (400/404/405/408/413/503/...) funnel through here just
+  // like handler responses, so every response the server writes carries
+  // the correlation id.
+  if (!conn->trace_id.empty()) {
+    response.SetHeader("x-trace-id", conn->trace_id);
+  }
   RecordRequestMetrics(*conn, response.status);
+  if (config_.access_log) {
+    DBG4ETH_LOG(Info) << FormatAccessLogLine(
+        conn->method, conn->route_label, response.status,
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - conn->request_start)
+            .count(),
+        conn->trace_id);
+  }
   conn->write_buffer = SerializeResponse(response, persist);
   conn->write_offset = 0;
   conn->close_after_write = !persist;
@@ -626,6 +669,10 @@ void HttpServer::SweepTimeouts(Loop* loop) {
         // Slowloris: answer 408 (best effort) and close.
         timeouts_read_->Inc();
         conn->route_label = "unmatched";
+        conn->method = "";
+        // The stuck request never finished parsing; give the 408 its own
+        // id (any buffered traceparent bytes are still untrusted input).
+        conn->trace_id = obs::GenerateTraceId();
         conn->request_start = now;
         StageResponse(loop, conn,
                       HttpResponse::Error(408, "request timed out"),

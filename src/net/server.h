@@ -51,7 +51,22 @@ struct HttpServerConfig {
   int64_t drain_deadline_us = 5'000'000;
   /// Timeout-sweep cadence (also the epoll_wait tick).
   int64_t sweep_interval_us = 50'000;
+  /// Emit one structured access-log line per finished request (method,
+  /// route, status, duration, trace id, shed/deadline flags) through the
+  /// shear-free logging path. Off by default: the line is cheap but the
+  /// serving benches measure the quiet path.
+  bool access_log = false;
 };
+
+/// One access-log line (no trailing newline), e.g.:
+///   http_access method=POST route=/v1/score code=200 duration_us=1234.5
+///       trace_id=4bf9... shed=0 deadline=0
+/// `shed` covers 429/503 (load rejected), `deadline` 408/504 (time ran
+/// out). Factored out of the server so tests can pin the format.
+std::string FormatAccessLogLine(const std::string& method,
+                                const std::string& route, int code,
+                                double duration_us,
+                                const std::string& trace_id);
 
 /// \brief Non-blocking, epoll-driven HTTP/1.1 server.
 ///
@@ -139,6 +154,11 @@ class HttpServer {
     /// Keep-alive decision of the request currently being handled.
     bool request_keep_alive = false;
     std::string route_label;  ///< Of the request currently in flight.
+    std::string method;       ///< Of the request currently in flight.
+    /// Correlation id of the in-flight request: the client's traceparent
+    /// trace id (or sanitized x-request-id), else a freshly generated id.
+    /// Stamped as `x-trace-id` on the response — success or error.
+    std::string trace_id;
     std::chrono::steady_clock::time_point last_activity;
     std::chrono::steady_clock::time_point request_start;
     uint64_t requests_served = 0;
@@ -178,7 +198,10 @@ class HttpServer {
   /// (or after Reset made pipelined leftovers current).
   void AdvanceParse(Loop* loop, Conn* conn);
   void DispatchRequest(Loop* loop, Conn* conn);
-  void StageResponse(Loop* loop, Conn* conn, const HttpResponse& response,
+  /// Every response — handler result or synthesized error — funnels
+  /// through here: trace-id header stamping, metrics, and the access log
+  /// happen exactly once per response.
+  void StageResponse(Loop* loop, Conn* conn, HttpResponse response,
                      bool keep_alive);
   void TryWrite(Loop* loop, Conn* conn);
   void FinishWrite(Loop* loop, Conn* conn);

@@ -40,8 +40,15 @@ std::string BucketLabels(const std::string& labels, double bound) {
   return out;
 }
 
-/// Renders one span tree through the shared writer (json::JsonWriter owns
-/// the escaping and comma bookkeeping — see common/json_util.h).
+/// OpenMetrics exemplar suffix: ` # {trace_id="..."} value timestamp`.
+/// Appended to a `_bucket` line when the bucket captured an exemplar.
+std::string ExemplarSuffix(const Histogram::Exemplar& ex) {
+  return " # {trace_id=\"" + EscapeLabelValue(ex.trace_id) + "\"} " +
+         Num(ex.value) + " " + StrFormat("%.3f", ex.timestamp_s);
+}
+
+}  // namespace
+
 void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
   writer->BeginObject();
   writer->Key("name");
@@ -50,6 +57,14 @@ void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
   writer->Number(node.start_us);
   writer->Key("duration_us");
   writer->Number(node.duration_us);
+  if (!node.trace_id.empty()) {
+    writer->Key("trace_id");
+    writer->String(node.trace_id);
+  }
+  if (node.error) {
+    writer->Key("error");
+    writer->Bool(true);
+  }
   if (!node.children.empty()) {
     writer->Key("children");
     writer->BeginArray();
@@ -60,8 +75,6 @@ void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
   }
   writer->EndObject();
 }
-
-}  // namespace
 
 std::string TextExposition(const MetricsRegistry* registry) {
   if (registry == nullptr) registry = MetricsRegistry::Global();
@@ -91,8 +104,12 @@ std::string TextExposition(const MetricsRegistry* registry) {
             out += family.name + "_bucket" +
                    BucketLabels(inst.labels, h.upper_bounds[b]) + " " +
                    StrFormat("%llu",
-                             static_cast<unsigned long long>(cumulative)) +
-                   "\n";
+                             static_cast<unsigned long long>(cumulative));
+            if (const Histogram::Exemplar* ex =
+                    h.ExemplarFor(static_cast<int>(b))) {
+              out += ExemplarSuffix(*ex);
+            }
+            out += "\n";
           }
           out += family.name + "_sum" + inst.labels + " " + Num(h.sum) + "\n";
           out += family.name + "_count" + inst.labels + " " +
@@ -155,6 +172,24 @@ std::string JsonSnapshot(const MetricsRegistry* registry,
           writer.Number(h.Percentile(0.95));
           writer.Key("p99");
           writer.Number(h.Percentile(0.99));
+          if (!h.exemplars.empty()) {
+            writer.Key("exemplars");
+            writer.BeginArray();
+            for (const Histogram::Exemplar& ex : h.exemplars) {
+              writer.BeginObject();
+              const double bound = h.upper_bounds[static_cast<size_t>(ex.bucket)];
+              writer.Key("bucket_le");
+              writer.String(std::isinf(bound) ? "+Inf" : Num(bound));
+              writer.Key("trace_id");
+              writer.String(ex.trace_id);
+              writer.Key("value");
+              writer.Number(ex.value);
+              writer.Key("timestamp_s");
+              writer.Number(ex.timestamp_s);
+              writer.EndObject();
+            }
+            writer.EndArray();
+          }
           break;
         }
       }

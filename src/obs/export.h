@@ -13,6 +13,10 @@
 #include "obs/trace.h"
 
 namespace dbg4eth {
+namespace json {
+class JsonWriter;
+}  // namespace json
+
 namespace obs {
 
 /// \brief Prometheus-style text exposition of a registry (null = Global).
@@ -20,8 +24,15 @@ namespace obs {
 /// Families render as `# HELP` / `# TYPE` headers followed by one sample
 /// line per instrument. Histograms expose cumulative `_bucket{le="..."}`
 /// lines (empty buckets are elided to keep dumps readable; `le="+Inf"` is
-/// always present) plus `_sum` and `_count`.
+/// always present) plus `_sum` and `_count`. Buckets that captured an
+/// exemplar carry an OpenMetrics exemplar suffix:
+///   `name_bucket{le="256"} 4 # {trace_id="<32hex>"} 211.8 1754600000.123`
 std::string TextExposition(const MetricsRegistry* registry = nullptr);
+
+/// Renders one span tree as a JSON object ({"name","start_us",
+/// "duration_us","trace_id"?,"error"?,"children"?}) through the shared
+/// writer. Used by JsonSnapshot and the HTTP `/debug/traces` route.
+void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer);
 
 /// \brief JSON snapshot of a registry plus the tracer's retained span
 /// trees (nulls = globals). Shape:

@@ -1,7 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/logging.h"
@@ -46,6 +48,27 @@ void AtomicMaxDouble(std::atomic<double>* slot, double value) {
 
 }  // namespace
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const LabelSet& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -55,7 +78,7 @@ std::string RenderLabels(const LabelSet& labels) {
     first = false;
     out += key;
     out += "=\"";
-    out += value;
+    out += EscapeLabelValue(value);
     out += "\"";
   }
   out += "}";
@@ -80,6 +103,7 @@ Histogram::Histogram(const HistogramConfig& config)
       stripes_[s].buckets[b].store(0, std::memory_order_relaxed);
     }
   }
+  exemplar_slots_ = std::make_unique<ExemplarSlot[]>(slots);
 }
 
 int Histogram::BucketIndex(double value) const {
@@ -98,6 +122,35 @@ void Histogram::Record(double value) {
   AtomicAddDouble(&stripe.sum, value);
   AtomicMinDouble(&min_, value);
   AtomicMaxDouble(&max_, value);
+}
+
+void Histogram::Record(double value, const std::string& trace_id) {
+  const int bucket = BucketIndex(value);
+  Stripe& stripe = stripes_[ThisThreadStripe(kStripes)];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&stripe.sum, value);
+  AtomicMinDouble(&min_, value);
+  AtomicMaxDouble(&max_, value);
+  if (trace_id.empty()) return;
+  ExemplarSlot& slot = exemplar_slots_[bucket];
+  // Try-lock: if another thread is writing or a snapshot is reading this
+  // slot, just skip the exemplar — the recording path must never block.
+  uint32_t expected = 0;
+  if (!slot.lock.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    return;
+  }
+  slot.len = static_cast<uint32_t>(
+      std::min(trace_id.size(), sizeof(slot.trace_id)));
+  std::memcpy(slot.trace_id, trace_id.data(), slot.len);
+  slot.value = value;
+  slot.timestamp_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  slot.lock.store(0, std::memory_order_release);
 }
 
 uint64_t Histogram::Count() const {
@@ -132,7 +185,35 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
     snap.min = min_.load(std::memory_order_relaxed);
     snap.max = max_.load(std::memory_order_relaxed);
   }
+  for (int b = 0; b < slots; ++b) {
+    ExemplarSlot& slot = exemplar_slots_[b];
+    // Spin-acquire: writers hold the slot lock for a handful of stores, and
+    // snapshots are rare (scrapes), so waiting here is cheap and keeps the
+    // record path the one that never blocks.
+    uint32_t expected = 0;
+    while (!slot.lock.compare_exchange_weak(expected, 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      expected = 0;
+    }
+    if (slot.len > 0) {
+      Exemplar ex;
+      ex.bucket = b;
+      ex.trace_id.assign(slot.trace_id, slot.len);
+      ex.value = slot.value;
+      ex.timestamp_s = slot.timestamp_s;
+      snap.exemplars.push_back(std::move(ex));
+    }
+    slot.lock.store(0, std::memory_order_release);
+  }
   return snap;
+}
+
+const Histogram::Exemplar* Histogram::Snapshot::ExemplarFor(int bucket) const {
+  for (const Exemplar& ex : exemplars) {
+    if (ex.bucket == bucket) return &ex;
+  }
+  return nullptr;
 }
 
 double Histogram::Snapshot::Percentile(double q) const {

@@ -37,7 +37,14 @@ using LabelSet = std::vector<std::pair<std::string, std::string>>;
 
 /// Renders a label set as `{k="v",k2="v2"}` (empty string for no labels);
 /// used both as the registry's instrument key and in text exposition.
+/// Values are escaped per the Prometheus text format (backslash, double
+/// quote, newline), so address- or user-derived values can never break
+/// the exposition or alias another instrument.
 std::string RenderLabels(const LabelSet& labels);
+
+/// Escapes one label *value* for the Prometheus text format:
+/// `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+std::string EscapeLabelValue(const std::string& value);
 
 /// \brief Monotonically increasing event counter.
 class Counter {
@@ -94,6 +101,22 @@ class Histogram {
 
   void Record(double value);
 
+  /// Records `value` and, when `trace_id` is non-empty, tries to attach an
+  /// OpenMetrics exemplar (trace_id, value, unix timestamp) to the bucket
+  /// the value landed in. Exemplar capture is best-effort and never
+  /// blocks: each bucket has one try-lock slot; if another thread holds it
+  /// this recording simply skips the exemplar (the count still lands).
+  void Record(double value, const std::string& trace_id);
+
+  /// One captured exemplar: the most recent trace that landed in `bucket`
+  /// (same indexing as Snapshot::buckets).
+  struct Exemplar {
+    int bucket = 0;
+    std::string trace_id;
+    double value = 0.0;
+    double timestamp_s = 0.0;  ///< Unix seconds at capture time.
+  };
+
   /// \brief Point-in-time merge of all stripes.
   struct Snapshot {
     uint64_t count = 0;
@@ -105,6 +128,11 @@ class Histogram {
     std::vector<uint64_t> buckets;
     /// Inclusive upper bound of each bucket; the last is +infinity.
     std::vector<double> upper_bounds;
+    /// Captured exemplars, at most one per bucket, ascending bucket order.
+    std::vector<Exemplar> exemplars;
+
+    /// The exemplar for `bucket`, or nullptr if none was captured.
+    const Exemplar* ExemplarFor(int bucket) const;
 
     /// Nearest-rank quantile, q in [0, 1]; 0 when nothing was recorded.
     double Percentile(double q) const;
@@ -130,9 +158,22 @@ class Histogram {
     std::atomic<double> sum{0.0};
   };
 
+  /// One exemplar per bucket, guarded by a per-slot try-lock so Record
+  /// never blocks: a writer that loses the CAS skips the exemplar, and
+  /// the (rare) snapshot reader spins the handful of cycles a writer
+  /// holds the lock for. 64-byte aligned so two slots never share a line.
+  struct alignas(64) ExemplarSlot {
+    std::atomic<uint32_t> lock{0};  ///< 0 = free, 1 = held.
+    uint32_t len = 0;               ///< 0 = slot empty (no exemplar yet).
+    char trace_id[40] = {};
+    double value = 0.0;
+    double timestamp_s = 0.0;
+  };
+
   HistogramConfig config_;
   double inv_log2_growth_ = 0.0;
   std::unique_ptr<Stripe[]> stripes_;
+  std::unique_ptr<ExemplarSlot[]> exemplar_slots_;
   std::atomic<double> min_;
   std::atomic<double> max_;
 };

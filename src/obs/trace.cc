@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <random>
 #include <utility>
 
 #include "common/logging.h"
@@ -30,6 +31,9 @@ struct Frame {
 thread_local std::vector<Frame> t_stack;
 thread_local Clock::time_point t_root_start;
 
+/// Innermost ScopedTraceContext's trace id for this thread.
+thread_local std::string t_trace_id;
+
 void AppendTree(const SpanNode& node, int depth, double parent_start,
                 std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
@@ -38,10 +42,19 @@ void AppendTree(const SpanNode& node, int depth, double parent_start,
   if (depth > 0) {
     *out += StrFormat("  (+%.1fus)", node.start_us - parent_start);
   }
+  if (node.error) *out += "  [error]";
   *out += "\n";
   for (const SpanNode& child : node.children) {
     AppendTree(child, depth + 1, node.start_us, out);
   }
+}
+
+bool TreeHasError(const SpanNode& node) {
+  if (node.error) return true;
+  for (const SpanNode& child : node.children) {
+    if (TreeHasError(child)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -71,8 +84,39 @@ std::string FormatSpanTree(const SpanNode& root) {
   return out;
 }
 
+std::string GenerateTraceId() {
+  // Thread-local engine: contention-free, and distinct threads get distinct
+  // random_device seeds so concurrent requests cannot collide.
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    std::seed_seq seed{rd(), rd(), rd(), rd()};
+    return std::mt19937_64(seed);
+  }();
+  uint64_t hi = rng();
+  uint64_t lo = rng();
+  if (hi == 0 && lo == 0) lo = 1;  // all-zero is invalid per W3C
+  static const char* kHex = "0123456789abcdef";
+  std::string id(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    id[15 - i] = kHex[(hi >> (4 * i)) & 0xF];
+    id[31 - i] = kHex[(lo >> (4 * i)) & 0xF];
+  }
+  return id;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::string trace_id)
+    : previous_(std::move(t_trace_id)) {
+  t_trace_id = std::move(trace_id);
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_id = std::move(previous_); }
+
+const std::string& ScopedTraceContext::CurrentTraceId() { return t_trace_id; }
+
 Tracer::Tracer(const TracerConfig& config)
-    : config_(config), sample_every_n_(config.sample_every_n) {}
+    : config_(config),
+      sample_every_n_(config.sample_every_n),
+      retain_latency_us_(config.retain_latency_us) {}
 
 Tracer* Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -82,18 +126,36 @@ Tracer* Tracer::Global() {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
+  retained_.clear();
   roots_finished_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<SpanNode> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return std::vector<SpanNode>(ring_.begin(), ring_.end());
+  std::vector<SpanNode> out(ring_.begin(), ring_.end());
+  out.insert(out.end(), retained_.begin(), retained_.end());
+  return out;
 }
 
 std::optional<SpanNode> Tracer::LatestRoot(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->name == name) return *it;
+  }
   for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
     if (it->name == name) return *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<SpanNode> Tracer::FindTrace(const std::string& trace_id) const {
+  if (trace_id.empty()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->trace_id == trace_id) return *it;
+  }
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->trace_id == trace_id) return *it;
   }
   return std::nullopt;
 }
@@ -101,9 +163,22 @@ std::optional<SpanNode> Tracer::LatestRoot(const std::string& name) const {
 void Tracer::RecordRoot(SpanNode&& root) {
   const uint64_t nth = roots_finished_.fetch_add(1, std::memory_order_relaxed);
   if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (root.trace_id.empty()) root.trace_id = ScopedTraceContext::CurrentTraceId();
+  if (!root.error && TreeHasError(root)) root.error = true;
+  // Tail-based retention: the decision uses the *finished* root, so an
+  // error or a latency outlier is kept even if head sampling would have
+  // dropped it, and ordinary traffic can never evict it from `retained_`.
+  const double threshold = retain_latency_us_.load(std::memory_order_relaxed);
+  const bool retain =
+      root.error || (threshold > 0.0 && root.duration_us >= threshold);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (retain && config_.retained_capacity > 0) {
+    while (retained_.size() >= config_.retained_capacity) retained_.pop_front();
+    retained_.push_back(std::move(root));
+    return;
+  }
   const uint64_t every = sample_every_n_.load(std::memory_order_relaxed);
   if (every == 0 || nth % every != 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
   while (ring_.size() >= config_.buffer_capacity) ring_.pop_front();
   ring_.push_back(std::move(root));
 }
@@ -122,6 +197,11 @@ TraceSpan::TraceSpan(const char* name, Tracer* tracer) {
   frame_index_ = t_stack.size();
   t_stack.push_back(std::move(frame));
   active_ = true;
+}
+
+void TraceSpan::SetError() {
+  if (!active_) return;
+  t_stack[frame_index_].node.error = true;
 }
 
 void TraceSpan::End() {

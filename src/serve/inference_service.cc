@@ -151,17 +151,24 @@ void InferenceService::RefreshLedgerHeight() {
 
 std::future<ScoreResult> InferenceService::ScoreAsync(
     eth::AccountId address) {
-  return ScoreAsync(address, config_.default_deadline_us);
+  return ScoreAsync(address, config_.default_deadline_us, std::string());
 }
 
 std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
                                                       int64_t deadline_us) {
+  return ScoreAsync(address, deadline_us, std::string());
+}
+
+std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
+                                                      int64_t deadline_us,
+                                                      std::string trace_id) {
   if (shutdown_.load()) {
     // A shut-down service rejects uniformly — even addresses that would
     // hit the cache — so clients observe one consistent terminal state.
     ScoreResult result;
     result.address = address;
     result.ledger_height = ledger_height_.load();
+    result.trace_id = std::move(trace_id);
     result.status = Status::FailedPrecondition("service is shut down");
     stats_.RecordError();
     auto promise = std::make_shared<std::promise<ScoreResult>>();
@@ -178,6 +185,7 @@ std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
         request.enqueue_time + std::chrono::microseconds(deadline_us);
     request.has_deadline = true;
   }
+  request.trace_id = std::move(trace_id);
   request.promise = std::make_shared<std::promise<ScoreResult>>();
   std::future<ScoreResult> future = request.promise->get_future();
 
@@ -192,7 +200,9 @@ std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
     result.cache_hit = true;
     result.model_generation = model_generation_.load();
     result.latency_us = ElapsedUs(request.enqueue_time);
-    stats_.RecordRequest(result.latency_us, /*cache_hit=*/true);
+    result.trace_id = request.trace_id;
+    stats_.RecordRequest(result.latency_us, /*cache_hit=*/true,
+                         request.trace_id);
     request.promise->set_value(std::move(result));
     return future;
   }
@@ -215,6 +225,7 @@ std::future<ScoreResult> InferenceService::ScoreAsync(eth::AccountId address,
         ScoreResult result;
         result.address = address;
         result.ledger_height = request.ledger_height;
+        result.trace_id = request.trace_id;
         result.status = Status::ResourceExhausted(
             "request queue is saturated; load shed");
         result.latency_us = ElapsedUs(request.enqueue_time);
@@ -291,6 +302,7 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
       ScoreResult result;
       result.address = request.address;
       result.ledger_height = request.ledger_height;
+      result.trace_id = request.trace_id;
       result.status =
           Status::DeadlineExceeded("deadline expired while queued");
       result.latency_us = ElapsedUs(request.enqueue_time);
@@ -323,17 +335,22 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
     }
     result.model_generation = ref.generation;
     result.latency_us = ElapsedUs(request.enqueue_time);
-    stats_.RecordRequest(result.latency_us, result.cache_hit);
+    result.trace_id = request.trace_id;
+    stats_.RecordRequest(result.latency_us, result.cache_hit,
+                         request.trace_id);
     request.promise->set_value(std::move(result));
   }
   if (cold_order.empty()) return;
 
   // Pass 2 — score the cold groups. A single group (or a disabled fast
   // path) takes the sequential route: one score_cold span covering
-  // prepare + forward, exactly as before batching.
+  // prepare + forward, exactly as before batching. The representative's
+  // trace context is active for the whole group score, so the span tree
+  // lands in the tracer stamped with that request's trace id.
   if (cold_order.size() == 1 || !config_.batch_forward) {
     for (uint64_t packed : cold_order) {
       const std::vector<ScoreRequest*>& group = cold[packed];
+      obs::ScopedTraceContext trace_ctx(group.front()->trace_id);
       int retries = 0;
       Result<double> proba =
           ScoreColdWithRetry(*ref.model, *group.front(), &retries);
@@ -359,15 +376,18 @@ void InferenceService::ProcessBatch(std::vector<ScoreRequest>* batch) {
   retries.reserve(cold_order.size());
   for (uint64_t packed : cold_order) {
     const std::vector<ScoreRequest*>& group = cold[packed];
+    obs::ScopedTraceContext trace_ctx(group.front()->trace_id);
     obs::TraceSpan span("score_cold");
     int group_retries = 0;
     Result<eth::GraphInstance> instance =
         PrepareColdWithRetry(*ref.model, *group.front(), &group_retries);
-    span.End();
     if (!instance.ok()) {
+      span.SetError();
+      span.End();
       ResolveColdFailure(group, instance.status());
       continue;
     }
+    span.End();
     ready.push_back(packed);
     instances.push_back(std::move(instance).ValueOrDie());
     retries.push_back(group_retries);
@@ -408,6 +428,7 @@ void InferenceService::FinishColdGroup(
       ScoreResult result;
       result.address = request->address;
       result.ledger_height = request->ledger_height;
+      result.trace_id = request->trace_id;
       result.status =
           Status::DeadlineExceeded("deadline expired while queued");
       result.latency_us = ElapsedUs(request->enqueue_time);
@@ -423,7 +444,9 @@ void InferenceService::FinishColdGroup(
     result.retries = first ? retries : 0;
     result.model_generation = model_generation;
     result.latency_us = ElapsedUs(request->enqueue_time);
-    stats_.RecordRequest(result.latency_us, result.cache_hit);
+    result.trace_id = request->trace_id;
+    stats_.RecordRequest(result.latency_us, result.cache_hit,
+                         request->trace_id);
     request->promise->set_value(std::move(result));
     first = false;
   }
@@ -436,6 +459,7 @@ void InferenceService::ResolveColdFailure(
       ScoreResult result;
       result.address = request->address;
       result.ledger_height = request->ledger_height;
+      result.trace_id = request->trace_id;
       result.status = status;
       result.latency_us = ElapsedUs(request->enqueue_time);
       stats_.RecordDeadlineExceeded();
@@ -495,7 +519,8 @@ bool InferenceService::TryServeStale(const ScoreRequest& request) {
   // model that produced it — the current generation is the right label.
   result.model_generation = model_generation_.load();
   result.latency_us = ElapsedUs(request.enqueue_time);
-  stats_.RecordStaleServed(result.latency_us);
+  result.trace_id = request.trace_id;
+  stats_.RecordStaleServed(result.latency_us, request.trace_id);
   request.promise->set_value(std::move(result));
   return true;
 }
@@ -505,6 +530,7 @@ void InferenceService::ResolveError(const ScoreRequest& request,
   ScoreResult result;
   result.address = request.address;
   result.ledger_height = request.ledger_height;
+  result.trace_id = request.trace_id;
   result.status = std::move(status);
   result.latency_us = ElapsedUs(request.enqueue_time);
   stats_.RecordError();
@@ -518,9 +544,14 @@ Result<double> InferenceService::ScoreCold(const core::Dbg4Eth& model,
   // emitted inside PredictProba (gsg_forward, calibrate, ldg_forward,
   // gbdt). See DESIGN.md "Observability".
   obs::TraceSpan span("score_cold");
-  DBG4ETH_ASSIGN_OR_RETURN(eth::GraphInstance instance,
-                           PrepareCold(model, address));
-  return model.PredictProba(instance);
+  Result<eth::GraphInstance> instance = PrepareCold(model, address);
+  if (!instance.ok()) {
+    // Failed roots are tail-retained by the tracer regardless of sampling,
+    // so the trace explaining an error response is always findable.
+    span.SetError();
+    return instance.status();
+  }
+  return model.PredictProba(instance.ValueOrDie());
 }
 
 Result<eth::GraphInstance> InferenceService::PrepareCold(

@@ -121,6 +121,15 @@ class InferenceService {
   std::future<ScoreResult> ScoreAsync(eth::AccountId address,
                                       int64_t deadline_us);
 
+  /// Same, carrying a request trace id (W3C trace-context format) through
+  /// the queue into the worker's trace context: the cold path's span tree
+  /// is stamped with it, latency exemplars reference it, and it comes
+  /// back on `ScoreResult::trace_id` for every outcome. An empty id means
+  /// "untraced" (no context, no exemplars).
+  std::future<ScoreResult> ScoreAsync(eth::AccountId address,
+                                      int64_t deadline_us,
+                                      std::string trace_id);
+
   /// Blocking convenience wrapper around ScoreAsync.
   ScoreResult Score(eth::AccountId address);
 

@@ -70,17 +70,18 @@ ServerStats::ServerStats(obs::MetricsRegistry* registry) {
                        {}, BatchSizeBuckets());
 }
 
-void ServerStats::RecordRequest(double latency_us, bool cache_hit) {
+void ServerStats::RecordRequest(double latency_us, bool cache_hit,
+                                const std::string& trace_id) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     hit_latency_.Record(latency_us);
     mirror_requests_hit_->Inc();
-    mirror_latency_hit_->Record(latency_us);
+    mirror_latency_hit_->Record(latency_us, trace_id);
   } else {
     cold_latency_.Record(latency_us);
     mirror_requests_cold_->Inc();
-    mirror_latency_cold_->Record(latency_us);
+    mirror_latency_cold_->Record(latency_us, trace_id);
   }
 }
 
@@ -104,12 +105,13 @@ void ServerStats::RecordRetry() {
   mirror_retries_->Inc();
 }
 
-void ServerStats::RecordStaleServed(double latency_us) {
+void ServerStats::RecordStaleServed(double latency_us,
+                                    const std::string& trace_id) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   stale_served_.fetch_add(1, std::memory_order_relaxed);
   stale_latency_.Record(latency_us);
   mirror_requests_stale_->Inc();
-  mirror_latency_stale_->Record(latency_us);
+  mirror_latency_stale_->Record(latency_us, trace_id);
 }
 
 void ServerStats::SetWorkers(int workers) {

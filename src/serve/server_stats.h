@@ -67,8 +67,11 @@ class ServerStats {
   ServerStats& operator=(const ServerStats&) = delete;
 
   /// Records one finished request: its end-to-end latency goes into the
-  /// cold or cache-hit histogram.
-  void RecordRequest(double latency_us, bool cache_hit);
+  /// cold or cache-hit histogram. A non-empty `trace_id` attaches an
+  /// exemplar to the mirror `serve_latency_us` bucket the latency landed
+  /// in, linking the exposition back to the retained trace.
+  void RecordRequest(double latency_us, bool cache_hit,
+                     const std::string& trace_id = std::string());
   void RecordError();
   void RecordBatch(size_t batch_size);
   /// Records one request resolved kDeadlineExceeded (not an error).
@@ -79,7 +82,8 @@ class ServerStats {
   void RecordRetry();
   /// Records one request served stale in degraded mode (counts as a
   /// resolved request; its latency goes into the stale histogram).
-  void RecordStaleServed(double latency_us);
+  void RecordStaleServed(double latency_us,
+                         const std::string& trace_id = std::string());
   /// Records the resolved worker-thread count (set once at service start).
   void SetWorkers(int workers);
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "eth/types.h"
@@ -35,6 +36,11 @@ struct ScoreResult {
   uint64_t model_generation = 0;
   /// End-to-end latency (submit -> resolved), microseconds.
   double latency_us = 0.0;
+  /// Correlation id of the request that produced this result (W3C trace
+  /// id: 32 lowercase hex chars). Empty only when the caller used the
+  /// trace-less ScoreAsync overload. Stamped on retained span trees and
+  /// histogram exemplars, and echoed as `x-trace-id` on the wire.
+  std::string trace_id;
   /// Non-OK when the address cannot be scored: unknown account or
   /// degenerate subgraph (kNotFound / kFailedPrecondition), deadline
   /// expiry (kDeadlineExceeded), load shed at admission
@@ -87,6 +93,9 @@ struct ScoreRequest {
   /// (checked at dispatch and again before each scoring attempt).
   std::chrono::steady_clock::time_point deadline;
   bool has_deadline = false;
+  /// Correlation id carried from admission through batching into the
+  /// worker's trace context (see obs::ScopedTraceContext).
+  std::string trace_id;
   std::shared_ptr<std::promise<ScoreResult>> promise;
 
   bool expired(std::chrono::steady_clock::time_point now) const {

@@ -20,6 +20,7 @@
 #include "net/http.h"
 #include "net/scoring_app.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "serve/inference_service.h"
 #include "serve/types.h"
 
@@ -840,6 +841,391 @@ TEST_F(NetScoringTest, ConcurrentScoringClientsAgree) {
           << "thread " << t << " request " << i << " (canonical thread "
           << canonical_thread << ")";
     }
+  }
+}
+
+// ==========================================================================
+// Trace-context plumbing: traceparent parsing, id extraction, query params,
+// the access-log line, and end-to-end header propagation.
+// ==========================================================================
+
+TEST(ParseTraceparent, AcceptsValidHeaderAndNormalizesCase) {
+  std::string id;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &id));
+  EXPECT_EQ(id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  // Uppercase hex digits are normalized to the canonical lowercase form.
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01", &id));
+  EXPECT_EQ(id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  // Future versions may append fields after the flags.
+  ASSERT_TRUE(ParseTraceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+      &id));
+  EXPECT_EQ(id, "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(ParseTraceparent, RejectsMalformedHeaders) {
+  std::string id;
+  // All-zero trace id is explicitly invalid per the spec.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01", &id));
+  // All-zero parent id likewise.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", &id));
+  // Version ff is forbidden.
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &id));
+  // Too short / wrong delimiters / non-hex digits.
+  EXPECT_FALSE(ParseTraceparent("00-abc-def-01", &id));
+  EXPECT_FALSE(ParseTraceparent(
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &id));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01", &id));
+  EXPECT_FALSE(ParseTraceparent("", &id));
+}
+
+TEST(ExtractTraceIdTest, PrefersTraceparentFallsBackToRequestId) {
+  HttpRequest request;
+  request.headers.emplace_back(
+      "traceparent",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  request.headers.emplace_back("x-request-id", "req-42");
+  EXPECT_EQ(ExtractTraceId(request), "4bf92f3577b34da6a3ce929d0e0e4736");
+
+  HttpRequest fallback;
+  fallback.headers.emplace_back("traceparent", "garbage");
+  fallback.headers.emplace_back("x-request-id", "req-42");
+  EXPECT_EQ(ExtractTraceId(fallback), "req-42");
+
+  HttpRequest neither;
+  EXPECT_EQ(ExtractTraceId(neither), "");
+}
+
+TEST(ExtractTraceIdTest, SanitizesHostileRequestIds) {
+  HttpRequest request;
+  // CRLF and quotes must never survive into a response header or a log
+  // line; only [A-Za-z0-9._-] pass, capped at 64 chars.
+  request.headers.emplace_back("x-request-id",
+                               "ok-1.2_3\r\nSet-Cookie: x\"evil\"");
+  EXPECT_EQ(ExtractTraceId(request), "ok-1.2_3Set-Cookiexevil");
+  HttpRequest longid;
+  longid.headers.emplace_back("x-request-id", std::string(200, 'a'));
+  EXPECT_EQ(ExtractTraceId(longid), std::string(64, 'a'));
+}
+
+TEST(QueryParamTest, ExtractsValuesAndFlags) {
+  EXPECT_EQ(QueryParam("id=abc&min_duration_us=5", "id"), "abc");
+  EXPECT_EQ(QueryParam("id=abc&min_duration_us=5", "min_duration_us"), "5");
+  EXPECT_EQ(QueryParam("id=abc", "missing"), "");
+  EXPECT_EQ(QueryParam("", "id"), "");
+  EXPECT_EQ(QueryParam("error", "error"), "");   // Bare flag.
+  EXPECT_EQ(QueryParam("error=1", "error"), "1");
+  EXPECT_EQ(QueryParam("a=1&b=2&c=3", "b"), "2");
+  // A key that prefixes another must not match it.
+  EXPECT_EQ(QueryParam("idx=1", "id"), "");
+}
+
+TEST(FormatAccessLogLineTest, RendersFlagsAndPlaceholders) {
+  EXPECT_EQ(FormatAccessLogLine("POST", "/v1/score", 200, 1234.5, "abc123"),
+            "http_access method=POST route=/v1/score code=200 "
+            "duration_us=1234.5 trace_id=abc123 shed=0 deadline=0");
+  // 429/503 are load-shedding, 408/504 are deadline expiry.
+  EXPECT_NE(FormatAccessLogLine("GET", "/x", 429, 1.0, "t").find("shed=1"),
+            std::string::npos);
+  EXPECT_NE(FormatAccessLogLine("GET", "/x", 503, 1.0, "t").find("shed=1"),
+            std::string::npos);
+  EXPECT_NE(
+      FormatAccessLogLine("GET", "/x", 408, 1.0, "t").find("deadline=1"),
+      std::string::npos);
+  EXPECT_NE(
+      FormatAccessLogLine("GET", "/x", 504, 1.0, "t").find("deadline=1"),
+      std::string::npos);
+  // Empty fields render as "-" so the line stays column-parseable.
+  const std::string line = FormatAccessLogLine("", "", 400, 0.5, "");
+  EXPECT_NE(line.find("method=- "), std::string::npos) << line;
+  EXPECT_NE(line.find("route=- "), std::string::npos) << line;
+  EXPECT_NE(line.find("trace_id=- "), std::string::npos) << line;
+}
+
+/// First value of `name` (lower-case) among the response headers, or "".
+std::string HeaderValue(const HttpResponse& response,
+                        const std::string& name) {
+  for (const auto& header : response.headers) {
+    if (header.first == name) return header.second;
+  }
+  return "";
+}
+
+bool IsHex32(const std::string& s) {
+  if (s.size() != 32) return false;
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+TEST(HttpServerTraceTest, EveryResponseCarriesATraceId) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+
+  // No client correlation headers: the server generates a 32-hex id.
+  auto plain = client.Get("/ping");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(IsHex32(HeaderValue(plain.ValueOrDie(), "x-trace-id")))
+      << HeaderValue(plain.ValueOrDie(), "x-trace-id");
+
+  // A client traceparent id is echoed back verbatim.
+  auto traced = client.Get(
+      "/ping",
+      {{"traceparent",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}});
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(HeaderValue(traced.ValueOrDie(), "x-trace-id"),
+            "4bf92f3577b34da6a3ce929d0e0e4736");
+
+  // So is a (sanitized) x-request-id.
+  auto reqid = client.Get("/ping", {{"x-request-id", "my-req-7"}});
+  ASSERT_TRUE(reqid.ok());
+  EXPECT_EQ(HeaderValue(reqid.ValueOrDie(), "x-trace-id"), "my-req-7");
+
+  // Two generated ids never collide.
+  auto another = client.Get("/ping");
+  ASSERT_TRUE(another.ok());
+  EXPECT_NE(HeaderValue(plain.ValueOrDie(), "x-trace-id"),
+            HeaderValue(another.ValueOrDie(), "x-trace-id"));
+  server->Shutdown();
+}
+
+TEST(HttpServerTraceTest, ErrorResponsesCarryTraceIdsToo) {
+  auto server = StartEchoServer(HttpServerConfig());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+
+  auto missing = client.Get("/nope", {{"x-request-id", "err-404"}});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.ValueOrDie().status, 404);
+  EXPECT_EQ(HeaderValue(missing.ValueOrDie(), "x-trace-id"), "err-404");
+
+  auto wrong_method = client.Get("/echo", {{"x-request-id", "err-405"}});
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.ValueOrDie().status, 405);
+  EXPECT_EQ(HeaderValue(wrong_method.ValueOrDie(), "x-trace-id"),
+            "err-405");
+
+  // Parse errors never had a trustworthy request: the 400 carries a
+  // server-generated id (partial bytes could hold a half-smuggled header).
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.SendRaw("BOGUS\r\n\r\n").ok());
+  const std::string raw = RecvUntilClose(client.fd());
+  EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 400"), 0) << raw;
+  const size_t tid = raw.find("x-trace-id: ");
+  ASSERT_NE(tid, std::string::npos) << raw;
+  EXPECT_TRUE(IsHex32(raw.substr(tid + 12, 32))) << raw;
+  server->Shutdown();
+}
+
+TEST(HttpServerTraceTest, TimeoutResponseCarriesGeneratedTraceId) {
+  HttpServerConfig config;
+  config.read_timeout_us = 100'000;
+  config.sweep_interval_us = 20'000;
+  auto server = StartEchoServer(config);
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.SendRaw("GET /ping HTTP/1.1\r\nHost: lo").ok());
+  const std::string raw = RecvUntilClose(client.fd());
+  EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 408"), 0) << raw;
+  const size_t tid = raw.find("x-trace-id: ");
+  ASSERT_NE(tid, std::string::npos) << raw;
+  EXPECT_TRUE(IsHex32(raw.substr(tid + 12, 32))) << raw;
+  server->Shutdown();
+}
+
+TEST(HttpServerTraceTest, HandlersSeeTheInjectedTraceIdHeader) {
+  auto server = std::make_unique<HttpServer>(HttpServerConfig());
+  server->Route("GET", "/whoami", [](const HttpRequest& request) {
+    const std::string* id = request.FindHeader("x-trace-id");
+    return HttpResponse::Text(200, id != nullptr ? *id : "(none)");
+  });
+  ASSERT_TRUE(server->Start().ok());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  auto response = client.Get(
+      "/whoami",
+      {{"traceparent",
+        "00-aaaabbbbccccddddeeeeffff00001111-1234567890abcdef-00"}});
+  ASSERT_TRUE(response.ok());
+  // The body (what the handler saw) matches the response header (what the
+  // server stamped): one id end to end.
+  EXPECT_EQ(response.ValueOrDie().body,
+            "aaaabbbbccccddddeeeeffff00001111");
+  EXPECT_EQ(HeaderValue(response.ValueOrDie(), "x-trace-id"),
+            "aaaabbbbccccddddeeeeffff00001111");
+  server->Shutdown();
+}
+
+// ==========================================================================
+// End-to-end correlation: trace id -> span tree -> exemplar -> debug routes.
+// ==========================================================================
+
+TEST_F(NetScoringTest, TraceIdCorrelatesResponseSpanTreeAndExemplar) {
+  // Retain every finished root for the duration of this test so the cold
+  // trace is guaranteed queryable by id afterwards.
+  obs::Tracer* tracer = obs::Tracer::Global();
+  const double saved_threshold = tracer->retain_latency_us();
+  tracer->SetRetainLatencyUs(0.001);
+
+  // A class no other test scores cold with a trace id.
+  const auto targets =
+      ledger_->AccountsOfClass(eth::AccountClass::kIcoWallet);
+  ASSERT_FALSE(targets.empty());
+  const std::string traceparent =
+      "00-feedfacefeedfacefeedfacefeedface-00f067aa0ba902b7-01";
+  const std::string want_id = "feedfacefeedfacefeedfacefeedface";
+
+  const HttpResponse response =
+      ScoreOverHttp(targets.front(), {{"traceparent", traceparent}});
+  tracer->SetRetainLatencyUs(saved_threshold);
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  // 1. The response header and body both carry the client's trace id.
+  EXPECT_EQ(HeaderValue(response, "x-trace-id"), want_id);
+  auto parsed = json::ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  const json::JsonValue* body_id = parsed.ValueOrDie().Find("trace_id");
+  ASSERT_NE(body_id, nullptr) << response.body;
+  EXPECT_EQ(body_id->string_value, want_id);
+
+  // 2. /debug/traces?id= returns the full cold stage tree for that id.
+  HttpClient client = MakeClient();
+  auto traces = client.Get("/debug/traces?id=" + want_id);
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces.ValueOrDie().status, 200) << traces.ValueOrDie().body;
+  const std::string& tree_json = traces.ValueOrDie().body;
+  auto tree = json::ParseJson(tree_json);
+  ASSERT_TRUE(tree.ok()) << tree_json;
+  const json::JsonValue* roots = tree.ValueOrDie().Find("traces");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->items.size(), 1u);
+  EXPECT_EQ(roots->items[0].Find("name")->string_value, "score_cold");
+  EXPECT_EQ(roots->items[0].Find("trace_id")->string_value, want_id);
+  // The stage pipeline is visible in the tree: materialize through the
+  // GBDT head all hang under score_cold.
+  for (const char* stage : {"materialize", "gbdt"}) {
+    EXPECT_NE(tree_json.find(std::string("\"name\": \"") + stage + "\""),
+              std::string::npos)
+        << "missing stage " << stage << " in " << tree_json;
+  }
+
+  // 3. The latency histogram carries an exemplar referencing a trace id
+  // (the most recent cold recording into that bucket).
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& exposition = metrics.ValueOrDie().body;
+  const size_t family = exposition.find("serve_latency_us_bucket");
+  ASSERT_NE(family, std::string::npos);
+  EXPECT_NE(exposition.find("# {trace_id=\"", family), std::string::npos)
+      << "no exemplar on serve_latency_us";
+}
+
+TEST_F(NetScoringTest, BatchRequestStampsEveryResultWithTheTraceId) {
+  const auto exchanges =
+      ledger_->AccountsOfClass(eth::AccountClass::kExchange);
+  ASSERT_GE(exchanges.size(), 2u);
+  const std::string want_id = "0123456789abcdef0123456789abcdef";
+  HttpClient client = MakeClient();
+  // Two addresses fan out concurrently inside the handler, so they can
+  // ride one packed batch_forward; both results carry the request's id.
+  auto response = client.Post(
+      "/v1/score_batch",
+      "{\"addresses\": [" + std::to_string(exchanges[0]) + ", " +
+          std::to_string(exchanges[1]) + "]}",
+      {{"traceparent",
+        "00-" + want_id + "-00f067aa0ba902b7-01"}});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.ValueOrDie().status, 200)
+      << response.ValueOrDie().body;
+  EXPECT_EQ(HeaderValue(response.ValueOrDie(), "x-trace-id"), want_id);
+  auto parsed = json::ParseJson(response.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok());
+  const json::JsonValue* results = parsed.ValueOrDie().Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items.size(), 2u);
+  for (const json::JsonValue& item : results->items) {
+    const json::JsonValue* trace_id = item.Find("trace_id");
+    ASSERT_NE(trace_id, nullptr);
+    EXPECT_EQ(trace_id->string_value, want_id);
+  }
+}
+
+TEST_F(NetScoringTest, DebugTracesFiltersAndRejectsBadParams) {
+  HttpClient client = MakeClient();
+  auto all = client.Get("/debug/traces");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.ValueOrDie().status, 200);
+  auto parsed = json::ParseJson(all.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok()) << all.ValueOrDie().body;
+  ASSERT_NE(parsed.ValueOrDie().Find("traces"), nullptr);
+  ASSERT_NE(parsed.ValueOrDie().Find("roots_finished"), nullptr);
+
+  // An impossible duration filter returns an empty, valid document.
+  auto none = client.Get("/debug/traces?min_duration_us=1e15");
+  ASSERT_TRUE(none.ok());
+  ASSERT_EQ(none.ValueOrDie().status, 200);
+  auto none_parsed = json::ParseJson(none.ValueOrDie().body);
+  ASSERT_TRUE(none_parsed.ok());
+  EXPECT_TRUE(none_parsed.ValueOrDie().Find("traces")->items.empty());
+
+  auto unknown = client.Get("/debug/traces?id=nosuchtraceid");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.ValueOrDie().status, 404);
+
+  auto bad = client.Get("/debug/traces?min_duration_us=banana");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.ValueOrDie().status, 400);
+}
+
+TEST_F(NetScoringTest, DebugVarsAndProfileEndpoints) {
+  HttpClient client = MakeClient();
+  auto vars = client.Get("/debug/vars");
+  ASSERT_TRUE(vars.ok());
+  ASSERT_EQ(vars.ValueOrDie().status, 200);
+  auto parsed = json::ParseJson(vars.ValueOrDie().body);
+  ASSERT_TRUE(parsed.ok()) << vars.ValueOrDie().body;
+  EXPECT_NE(parsed.ValueOrDie().Find("metrics"), nullptr);
+
+  auto bad_seconds = client.Get("/debug/profile?seconds=banana");
+  ASSERT_TRUE(bad_seconds.ok());
+  EXPECT_EQ(bad_seconds.ValueOrDie().status, 400);
+
+  // Keep one core busy so the wall-clock sampler has stacks to fold.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sink{0};
+  std::thread burner([&stop, &sink] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  auto profile = client.Get("/debug/profile?seconds=0.1");
+  stop.store(true);
+  burner.join();
+  ASSERT_TRUE(profile.ok());
+  if (profile.ValueOrDie().status == 503) {
+    // Profiling is disabled under ThreadSanitizer; the route says so.
+    EXPECT_NE(profile.ValueOrDie().body.find("ThreadSanitizer"),
+              std::string::npos)
+        << profile.ValueOrDie().body;
+    return;
+  }
+  ASSERT_EQ(profile.ValueOrDie().status, 200)
+      << profile.ValueOrDie().body;
+  const std::string& folded = profile.ValueOrDie().body;
+  ASSERT_FALSE(folded.empty());
+  // Folded-stack shape: every line ends in a positive count.
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
   }
 }
 

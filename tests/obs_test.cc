@@ -9,8 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace dbg4eth {
@@ -421,6 +423,370 @@ TEST(SummaryLineTest, ListsEveryInstrument) {
   EXPECT_NE(line.find("events_total{kind=\"a\"}=3"), std::string::npos);
   EXPECT_NE(line.find("queue_depth=2.5"), std::string::npos);
   EXPECT_NE(line.find("lat_us[n=3"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Histogram exemplars
+// --------------------------------------------------------------------------
+
+TEST(HistogramExemplarTest, CapturesExemplarInLandingBucket) {
+  Histogram histogram(SmallConfig());
+  histogram.Record(3.0, "abc123");  // Bucket le="4" is index 3.
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].trace_id, "abc123");
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 3.0);
+  EXPECT_GT(snap.exemplars[0].timestamp_s, 1e9);  // Sane unix seconds.
+  const Histogram::Exemplar* ex = snap.ExemplarFor(snap.exemplars[0].bucket);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->trace_id, "abc123");
+  EXPECT_EQ(snap.ExemplarFor(0), nullptr);  // Untouched bucket: none.
+}
+
+TEST(HistogramExemplarTest, EmptyTraceIdRecordsCountButNoExemplar) {
+  Histogram histogram(SmallConfig());
+  histogram.Record(3.0, "");
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_TRUE(snap.exemplars.empty());
+}
+
+TEST(HistogramExemplarTest, LatestWriterWinsPerBucket) {
+  Histogram histogram(SmallConfig());
+  histogram.Record(3.0, "first");
+  histogram.Record(3.5, "second");
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].trace_id, "second");
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 3.5);
+}
+
+TEST(HistogramExemplarTest, OverlongTraceIdIsTruncatedNotCorrupted) {
+  Histogram histogram(SmallConfig());
+  const std::string long_id(100, 'x');
+  histogram.Record(3.0, long_id);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].trace_id, std::string(40, 'x'));
+}
+
+TEST(HistogramExemplarTest, ConcurrentExemplarRecordsStayConsistent) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&histogram, t] {
+      const std::string id = "trace-" + std::to_string(t);
+      for (int i = 0; i < 5000; ++i) {
+        histogram.Record(static_cast<double>(i % 100 + 1), id);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 40000u);  // No count is ever lost to the try-lock.
+  ASSERT_FALSE(snap.exemplars.empty());
+  for (const Histogram::Exemplar& ex : snap.exemplars) {
+    // Every captured exemplar is one writer's intact id, never a splice.
+    EXPECT_EQ(ex.trace_id.rfind("trace-", 0), 0u) << ex.trace_id;
+    EXPECT_GE(ex.value, 1.0);
+    EXPECT_LE(ex.value, 100.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Label-value escaping
+// --------------------------------------------------------------------------
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  // Order matters: the backslash introduced by escaping is not re-escaped.
+  EXPECT_EQ(EscapeLabelValue("\\\""), "\\\\\\\"");
+}
+
+TEST(RenderLabelsTest, EscapesHostileValues) {
+  EXPECT_EQ(RenderLabels({{"path", "a\"b\nc\\d"}}),
+            "{path=\"a\\\"b\\nc\\\\d\"}");
+}
+
+TEST(TextExpositionTest, EscapedLabelGolden) {
+  MetricsRegistry registry;
+  registry.CounterAt("hostile_total", "Hostile labels",
+                     {{"src", "quo\"te\\slash\nnewline"}})
+      ->Inc(1);
+  const std::string expected =
+      "# HELP hostile_total Hostile labels\n"
+      "# TYPE hostile_total counter\n"
+      "hostile_total{src=\"quo\\\"te\\\\slash\\nnewline\"} 1\n";
+  EXPECT_EQ(TextExposition(&registry), expected);
+}
+
+TEST(TextExpositionTest, RendersExemplarSuffix) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.HistogramAt("lat_us", "Latency", {}, SmallConfig());
+  hist->Record(0.5);  // Underflow bucket, recorded without a trace id.
+  hist->Record(3.0, "4bf92f3577b34da6a3ce929d0e0e4736");
+  const std::string text = TextExposition(&registry);
+  // OpenMetrics exemplar: `bucket-line # {labels} value timestamp`
+  // (bucket counts are cumulative, so le="4" covers both records).
+  const size_t pos = text.find(
+      "lat_us_bucket{le=\"4\"} 2 "
+      "# {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 3");
+  EXPECT_NE(pos, std::string::npos) << text;
+  // Buckets without a captured exemplar stay bare.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(JsonSnapshotTest, HistogramExemplarsAppearInJson) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.HistogramAt("lat_us", "Latency", {}, SmallConfig());
+  hist->Record(3.0, "deadbeef");
+  hist->Record(1e9, "overflowid");
+  Tracer tracer;
+  const std::string json = JsonSnapshot(&registry, &tracer);
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"deadbeef\""), std::string::npos);
+  // The overflow bucket's bound serializes as the string "+Inf", never as
+  // a bare inf token (which would not be JSON).
+  EXPECT_NE(json.find("\"bucket_le\": \"+Inf\""), std::string::npos);
+  EXPECT_EQ(json.find("inf,"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Trace ids, context propagation, tail retention
+// --------------------------------------------------------------------------
+
+TEST(GenerateTraceIdTest, ProducesDistinctLowercaseHexIds) {
+  const std::string a = GenerateTraceId();
+  const std::string b = GenerateTraceId();
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, std::string(32, '0'));
+  for (char c : a) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << a;
+  }
+}
+
+TEST(ScopedTraceContextTest, StampsRootAndRestoresPreviousContext) {
+  Tracer tracer;
+  EXPECT_EQ(ScopedTraceContext::CurrentTraceId(), "");
+  {
+    ScopedTraceContext outer("outer-id");
+    EXPECT_EQ(ScopedTraceContext::CurrentTraceId(), "outer-id");
+    {
+      ScopedTraceContext inner("inner-id");
+      EXPECT_EQ(ScopedTraceContext::CurrentTraceId(), "inner-id");
+      TraceSpan root("inner_root", &tracer);
+    }
+    EXPECT_EQ(ScopedTraceContext::CurrentTraceId(), "outer-id");
+    TraceSpan root("outer_root", &tracer);
+  }
+  EXPECT_EQ(ScopedTraceContext::CurrentTraceId(), "");
+  const auto inner = tracer.LatestRoot("inner_root");
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->trace_id, "inner-id");
+  const auto outer = tracer.LatestRoot("outer_root");
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->trace_id, "outer-id");
+}
+
+TEST(TracerTest, ErrorRootBypassesSamplingIntoRetainedRing) {
+  Tracer tracer;
+  tracer.SetSampleEveryN(1000);  // Ordinary roots are all dropped...
+  SpanNode dropped;
+  dropped.name = "ok1";
+  tracer.RecordRoot(std::move(dropped));  // Root 0: the one sampled root.
+  SpanNode dropped2;
+  dropped2.name = "ok2";
+  tracer.RecordRoot(std::move(dropped2));  // Root 1: sampled away.
+  SpanNode failed;
+  failed.name = "failed";
+  failed.error = true;
+  tracer.RecordRoot(std::move(failed));  // Root 2: error -> retained.
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].name, "ok1");
+  EXPECT_EQ(kept[1].name, "failed");
+  EXPECT_TRUE(kept[1].error);
+}
+
+TEST(TracerTest, ChildErrorBubblesToRootAndForcesRetention) {
+  Tracer tracer;
+  tracer.SetSampleEveryN(0);  // Keep nothing by sampling.
+  {
+    TraceSpan root("req", &tracer);
+    TraceSpan child("stage");
+    child.SetError();
+  }
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept[0].error);  // Bubbled from the child.
+  ASSERT_EQ(kept[0].children.size(), 1u);
+  EXPECT_TRUE(kept[0].children[0].error);
+}
+
+TEST(TracerTest, SlowRootIsTailRetainedDespiteSampling) {
+  Tracer tracer;
+  tracer.SetSampleEveryN(0);
+  tracer.SetRetainLatencyUs(500.0);
+  EXPECT_DOUBLE_EQ(tracer.retain_latency_us(), 500.0);
+  SpanNode fast;
+  fast.name = "fast";
+  fast.duration_us = 100.0;
+  tracer.RecordRoot(std::move(fast));
+  SpanNode slow;
+  slow.name = "slow";
+  slow.duration_us = 900.0;
+  tracer.RecordRoot(std::move(slow));
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].name, "slow");
+}
+
+TEST(TracerTest, RetainedRingIsNotEvictedByOrdinaryTraffic) {
+  TracerConfig config;
+  config.buffer_capacity = 2;  // Tiny sampled ring.
+  config.retained_capacity = 8;
+  Tracer tracer(config);
+  SpanNode failed;
+  failed.name = "the_failure";
+  failed.error = true;
+  tracer.RecordRoot(std::move(failed));
+  // A burst of healthy traffic churns the sampled ring far past capacity.
+  for (int i = 0; i < 100; ++i) {
+    SpanNode node;
+    node.name = "healthy";
+    tracer.RecordRoot(std::move(node));
+  }
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);  // 2 sampled + the retained failure.
+  EXPECT_EQ(kept.back().name, "the_failure");
+}
+
+TEST(TracerTest, RetainedRingEvictsOldestAmongRetained) {
+  TracerConfig config;
+  config.retained_capacity = 2;
+  Tracer tracer(config);
+  tracer.SetSampleEveryN(0);
+  for (int i = 0; i < 4; ++i) {
+    SpanNode node;
+    node.name = "err" + std::to_string(i);
+    node.error = true;
+    tracer.RecordRoot(std::move(node));
+  }
+  const auto kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].name, "err2");
+  EXPECT_EQ(kept[1].name, "err3");
+}
+
+TEST(TracerTest, FindTraceLooksUpRetainedAndSampledRoots) {
+  Tracer tracer;
+  SpanNode sampled;
+  sampled.name = "sampled";
+  sampled.trace_id = "id-sampled";
+  tracer.RecordRoot(std::move(sampled));
+  SpanNode retained;
+  retained.name = "retained";
+  retained.trace_id = "id-retained";
+  retained.error = true;
+  tracer.RecordRoot(std::move(retained));
+  const auto hit = tracer.FindTrace("id-retained");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "retained");
+  const auto sampled_hit = tracer.FindTrace("id-sampled");
+  ASSERT_TRUE(sampled_hit.has_value());
+  EXPECT_EQ(sampled_hit->name, "sampled");
+  EXPECT_FALSE(tracer.FindTrace("no-such-id").has_value());
+  EXPECT_FALSE(tracer.FindTrace("").has_value());
+}
+
+// --------------------------------------------------------------------------
+// Profiler
+// --------------------------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kUnderTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kUnderTsan = true;
+#else
+constexpr bool kUnderTsan = false;
+#endif
+#else
+constexpr bool kUnderTsan = false;
+#endif
+
+TEST(ProfilerTest, RefusesToStartUnderTsanOtherwiseCaptures) {
+  Profiler profiler;
+  if (kUnderTsan) {
+    std::string folded;
+    const Status status = profiler.ProfileFor(0.05, &folded);
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable)
+        << status.ToString();
+    return;
+  }
+  // Keep a thread busy so wall-clock samples land somewhere real.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sink{0};
+  std::thread burner([&stop, &sink] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::string folded;
+  const Status status = profiler.ProfileFor(0.3, &folded);
+  stop.store(true);
+  burner.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GT(profiler.samples_captured(), 0u);
+  ASSERT_FALSE(folded.empty());
+  // Every folded line is `frame;frame;... count` with a positive count.
+  std::istringstream lines(folded);
+  std::string line;
+  uint64_t total = 0;
+  while (std::getline(lines, line)) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const uint64_t count = std::stoull(line.substr(space + 1));
+    EXPECT_GT(count, 0u) << line;
+    total += count;
+  }
+  EXPECT_EQ(total, profiler.samples_captured());
+}
+
+TEST(ProfilerTest, StartTwiceFailsStopIsIdempotent) {
+  if (kUnderTsan) GTEST_SKIP() << "profiler disabled under TSan";
+  Profiler profiler;
+  ASSERT_TRUE(profiler.Start().ok());
+  EXPECT_TRUE(profiler.running());
+  const Status again = profiler.Start();
+  EXPECT_FALSE(again.ok());
+  profiler.Stop();
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+}
+
+TEST(ProfilerTest, SecondProfilerCannotStealTheSignalHandler) {
+  if (kUnderTsan) GTEST_SKIP() << "profiler disabled under TSan";
+  Profiler first;
+  ASSERT_TRUE(first.Start().ok());
+  Profiler second;
+  const Status status = second.Start();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  first.Stop();
+}
+
+TEST(ProfilerTest, CollectFoldedOnEmptyCaptureIsEmpty) {
+  Profiler profiler;
+  EXPECT_EQ(profiler.samples_captured(), 0u);
+  EXPECT_TRUE(profiler.CollectFolded().empty());
 }
 
 TEST(StatsLoggerTest, EmitsAtLeastOnceBeforeStop) {

@@ -56,6 +56,20 @@ if [[ "${fast}" != "1" ]]; then
   score_addr="$(grep -o '"address": [0-9]*' "${smoke_log}" | head -1 | grep -o '[0-9]*')"
   curl -sf -X POST "${base}/v1/score" -d "{\"address\": ${score_addr}}" \
       | grep '"score": ' >/dev/null
+  # Trace propagation: a client traceparent id comes back as x-trace-id;
+  # the debug surface serves trace trees, vars and a live profile.
+  smoke_tid="1234567890abcdef1234567890abcdef"
+  curl -sf -D - -o /dev/null -X POST "${base}/v1/score" \
+      -H "traceparent: 00-${smoke_tid}-00f067aa0ba902b7-01" \
+      -d "{\"address\": ${score_addr}}" \
+      | grep -i "x-trace-id: ${smoke_tid}" >/dev/null
+  curl -sf "${base}/debug/traces" | grep '"traces"' >/dev/null
+  curl -sf "${base}/debug/vars" | grep '"metrics"' >/dev/null
+  # One second of wall-clock sampling must yield non-empty folded stacks
+  # ("name;name count" lines) for flamegraph tooling.
+  profile_out="$(curl -sf "${base}/debug/profile?seconds=1")"
+  [[ -n "${profile_out}" ]]
+  echo "${profile_out}" | head -1 | grep -E ' [0-9]+$' >/dev/null
   kill -TERM "${smoke_pid}"
   smoke_status=0
   wait "${smoke_pid}" || smoke_status=$?
