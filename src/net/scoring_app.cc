@@ -78,15 +78,21 @@ ScoringApp::ScoringApp(serve::InferenceService* service, HttpServer* server,
                  [this](const HttpRequest& r) { return HandleHealthz(r); });
   server_->Route("GET", "/statusz",
                  [this](const HttpRequest& r) { return HandleStatusz(r); });
-  server_->Route("GET", "/debug/traces", [this](const HttpRequest& r) {
-    return HandleDebugTraces(r);
-  });
-  server_->Route("GET", "/debug/profile", [this](const HttpRequest& r) {
-    return HandleDebugProfile(r);
-  });
-  server_->Route("GET", "/debug/vars", [this](const HttpRequest& r) {
-    return HandleDebugVars(r);
-  });
+  // The debug surface is operator tooling, not client API — and
+  // /debug/profile lets any caller pin a handler thread for up to
+  // max_profile_seconds. Gated so a deployment bound beyond loopback can
+  // turn it off; unregistered routes fall through to the server's 404.
+  if (config_.expose_debug_routes) {
+    server_->Route("GET", "/debug/traces", [this](const HttpRequest& r) {
+      return HandleDebugTraces(r);
+    });
+    server_->Route("GET", "/debug/profile", [this](const HttpRequest& r) {
+      return HandleDebugProfile(r);
+    });
+    server_->Route("GET", "/debug/vars", [this](const HttpRequest& r) {
+      return HandleDebugVars(r);
+    });
+  }
 }
 
 bool ScoringApp::ParseDeadline(const HttpRequest& request,
@@ -209,10 +215,22 @@ HttpResponse ScoringApp::HandleScoreBatch(const HttpRequest& request) {
   return HttpResponse::Json(200, std::move(body));
 }
 
-HttpResponse ScoringApp::HandleMetrics(const HttpRequest&) {
-  HttpResponse response = HttpResponse::Text(200, obs::TextExposition());
-  // The Prometheus exposition-format content type.
-  response.SetHeader("Content-Type", "text/plain; version=0.0.4");
+HttpResponse ScoringApp::HandleMetrics(const HttpRequest& request) {
+  // Exemplars are only legal in OpenMetrics — the classic 0.0.4 text
+  // parser treats the '#' after a sample value as a parse error and
+  // fails the whole scrape — so the dialect is negotiated: scrapers
+  // advertising `Accept: application/openmetrics-text` get exemplars
+  // plus the `# EOF` trailer, everyone else gets plain 0.0.4 output.
+  const std::string* accept = request.FindHeader("accept");
+  const obs::ExpositionFormat format =
+      accept != nullptr &&
+              accept->find("application/openmetrics-text") !=
+                  std::string::npos
+          ? obs::ExpositionFormat::kOpenMetrics
+          : obs::ExpositionFormat::kPrometheusText;
+  HttpResponse response =
+      HttpResponse::Text(200, obs::TextExposition(nullptr, format));
+  response.SetHeader("Content-Type", obs::ExpositionContentType(format));
   return response;
 }
 

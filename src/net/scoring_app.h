@@ -18,8 +18,15 @@ struct ScoringAppConfig {
   /// Address-count bound of one /v1/score_batch body.
   size_t max_batch_addresses = 256;
   /// Largest accepted `/debug/profile?seconds=` value; larger asks are
-  /// clamped (the capture blocks one handler thread for its duration).
-  double max_profile_seconds = 30.0;
+  /// clamped (the capture blocks one handler thread for its duration and
+  /// interrupts the whole process at the sampling frequency).
+  double max_profile_seconds = 10.0;
+  /// Registers the `/debug/*` routes (traces, profile, vars). They are
+  /// unauthenticated operator tooling: anything that can reach the port
+  /// can read traces and trigger profile captures, so disable this when
+  /// the server binds beyond loopback for untrusted clients. When off,
+  /// the paths 404 like any unknown route.
+  bool expose_debug_routes = true;
 };
 
 /// \brief The HTTP face of InferenceService: scoring + admin endpoints.
@@ -27,7 +34,11 @@ struct ScoringAppConfig {
 /// Routes registered on the server:
 ///   POST /v1/score        {"address": N} -> one ScoreResult as JSON
 ///   POST /v1/score_batch  {"addresses": [N, ...]} -> {"results": [...]}
-///   GET  /metrics         Prometheus text exposition (obs registry)
+///   GET  /metrics         text exposition of the obs registry; classic
+///                         Prometheus 0.0.4 by default, OpenMetrics
+///                         (with histogram exemplars + `# EOF`) when the
+///                         scraper sends
+///                         `Accept: application/openmetrics-text`
 ///   GET  /healthz         liveness ("ok")
 ///   GET  /statusz         JSON: ServerStats snapshot, model generation,
 ///                         ledger height, HTTP-server counters, and the
@@ -40,6 +51,10 @@ struct ScoringAppConfig {
 ///                         for flamegraph tools; 409 while another
 ///                         capture runs, 503 where profiling is disabled
 ///   GET  /debug/vars      the obs JSON snapshot (metrics + spans)
+///
+/// The `/debug/*` routes register only when
+/// `ScoringAppConfig::expose_debug_routes` is set (the default — the
+/// default server bind is loopback); disable it on untrusted networks.
 ///
 /// Trace propagation: the server resolves each request's trace id from
 /// `traceparent`/`x-request-id` (generating one otherwise) and injects it

@@ -506,6 +506,17 @@ void HttpServer::DispatchRequest(Loop* loop, Conn* conn) {
   // response will carry.
   conn->trace_id = ExtractTraceId(request);
   if (conn->trace_id.empty()) conn->trace_id = obs::GenerateTraceId();
+  // `x-trace-id` is the server's output channel, not a client input (the
+  // inputs are traceparent / x-request-id, which ExtractTraceId
+  // sanitizes). Drop any client-sent copies first: FindHeader returns
+  // the first match, so a spoofed header would otherwise shadow the
+  // canonical id in handlers while the response carried a different one.
+  request.headers.erase(
+      std::remove_if(request.headers.begin(), request.headers.end(),
+                     [](const std::pair<std::string, std::string>& h) {
+                       return h.first == "x-trace-id";
+                     }),
+      request.headers.end());
   request.headers.emplace_back("x-trace-id", conn->trace_id);
 
   const RouteEntry* match = nullptr;

@@ -49,6 +49,16 @@ std::string ExemplarSuffix(const Histogram::Exemplar& ex) {
 
 }  // namespace
 
+const char* ExpositionContentType(ExpositionFormat format) {
+  switch (format) {
+    case ExpositionFormat::kOpenMetrics:
+      return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    case ExpositionFormat::kPrometheusText:
+      break;
+  }
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
 void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
   writer->BeginObject();
   writer->Key("name");
@@ -76,12 +86,26 @@ void AppendSpanJson(const SpanNode& node, json::JsonWriter* writer) {
   writer->EndObject();
 }
 
-std::string TextExposition(const MetricsRegistry* registry) {
+std::string TextExposition(const MetricsRegistry* registry,
+                           ExpositionFormat format) {
   if (registry == nullptr) registry = MetricsRegistry::Global();
+  const bool openmetrics = format == ExpositionFormat::kOpenMetrics;
   std::string out;
   for (const auto& family : registry->TakeSnapshot()) {
-    out += "# HELP " + family.name + " " + family.help + "\n";
-    out += "# TYPE " + family.name + " " + KindName(family.kind) + "\n";
+    // OpenMetrics names the counter *family* without the `_total` suffix
+    // (the sample line keeps it: `<family>_total`); the classic format
+    // uses the full name in both places.
+    std::string header_name = family.name;
+    constexpr const char kTotal[] = "_total";
+    constexpr size_t kTotalLen = sizeof(kTotal) - 1;
+    if (openmetrics && family.kind == MetricsRegistry::Kind::kCounter &&
+        header_name.size() > kTotalLen &&
+        header_name.compare(header_name.size() - kTotalLen, kTotalLen,
+                            kTotal) == 0) {
+      header_name.resize(header_name.size() - kTotalLen);
+    }
+    out += "# HELP " + header_name + " " + family.help + "\n";
+    out += "# TYPE " + header_name + " " + KindName(family.kind) + "\n";
     for (const auto& inst : family.instruments) {
       switch (family.kind) {
         case MetricsRegistry::Kind::kCounter:
@@ -105,9 +129,13 @@ std::string TextExposition(const MetricsRegistry* registry) {
                    BucketLabels(inst.labels, h.upper_bounds[b]) + " " +
                    StrFormat("%llu",
                              static_cast<unsigned long long>(cumulative));
-            if (const Histogram::Exemplar* ex =
-                    h.ExemplarFor(static_cast<int>(b))) {
-              out += ExemplarSuffix(*ex);
+            // Exemplar suffixes are OpenMetrics-only: the 0.0.4 parser
+            // rejects a '#' after the sample value.
+            if (openmetrics) {
+              if (const Histogram::Exemplar* ex =
+                      h.ExemplarFor(static_cast<int>(b))) {
+                out += ExemplarSuffix(*ex);
+              }
             }
             out += "\n";
           }
@@ -121,6 +149,7 @@ std::string TextExposition(const MetricsRegistry* registry) {
       }
     }
   }
+  if (openmetrics) out += "# EOF\n";
   return out;
 }
 

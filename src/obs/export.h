@@ -19,15 +19,35 @@ class JsonWriter;
 
 namespace obs {
 
+/// Dialects of the text exposition. Exemplars are only legal in
+/// OpenMetrics: the classic Prometheus 0.0.4 parser treats a `#` after
+/// the sample value as a parse error and fails the whole scrape, so the
+/// default dialect never emits them. Serve kOpenMetrics only to scrapers
+/// that negotiated it (`Accept: application/openmetrics-text`).
+enum class ExpositionFormat {
+  kPrometheusText,  ///< Classic 0.0.4 text format; no exemplars.
+  kOpenMetrics,     ///< Exemplar suffixes + the mandatory `# EOF` trailer.
+};
+
+/// The Content-Type header value matching `format`.
+const char* ExpositionContentType(ExpositionFormat format);
+
 /// \brief Prometheus-style text exposition of a registry (null = Global).
 ///
 /// Families render as `# HELP` / `# TYPE` headers followed by one sample
 /// line per instrument. Histograms expose cumulative `_bucket{le="..."}`
 /// lines (empty buckets are elided to keep dumps readable; `le="+Inf"` is
-/// always present) plus `_sum` and `_count`. Buckets that captured an
-/// exemplar carry an OpenMetrics exemplar suffix:
+/// always present) plus `_sum` and `_count`.
+///
+/// In the kOpenMetrics dialect, buckets that captured an exemplar carry
+/// an exemplar suffix:
 ///   `name_bucket{le="256"} 4 # {trace_id="<32hex>"} 211.8 1754600000.123`
-std::string TextExposition(const MetricsRegistry* registry = nullptr);
+/// counter families named `*_total` drop the suffix on their HELP/TYPE
+/// lines (OpenMetrics defines the sample as `<family>_total`), and the
+/// output ends with the mandatory `# EOF` line.
+std::string TextExposition(
+    const MetricsRegistry* registry = nullptr,
+    ExpositionFormat format = ExpositionFormat::kPrometheusText);
 
 /// Renders one span tree as a JSON object ({"name","start_us",
 /// "duration_us","trace_id"?,"error"?,"children"?}) through the shared

@@ -165,7 +165,11 @@ class Histogram {
   struct alignas(64) ExemplarSlot {
     std::atomic<uint32_t> lock{0};  ///< 0 = free, 1 = held.
     uint32_t len = 0;               ///< 0 = slot empty (no exemplar yet).
-    char trace_id[40] = {};
+    /// Sized to the longest id the transport produces (net::ExtractTraceId
+    /// caps sanitized x-request-id values at 64 chars), so an exposed
+    /// exemplar id always matches the response header and retained trace;
+    /// anything longer is truncated.
+    char trace_id[64] = {};
     double value = 0.0;
     double timestamp_s = 0.0;
   };

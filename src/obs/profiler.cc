@@ -141,10 +141,15 @@ Status Profiler::Start() {
     return Status::Internal("sigaction(SIGPROF) failed");
   }
 
-  // A CLOCK_MONOTONIC timer gives wall-clock sampling: idle threads
-  // blocked in epoll_wait show up too, which is what you want when the
-  // question is "where does request latency go", not just "what burns
-  // CPU" (ITIMER_PROF would only tick while on-CPU).
+  // A CLOCK_MONOTONIC timer ticks on wall time, so sampling keeps going
+  // even when the process is blocked (ITIMER_PROF would only tick while
+  // on-CPU). Caveat: SIGEV_SIGNAL is a *process-directed* signal — the
+  // kernel delivers each expiry to ONE arbitrary eligible thread, in
+  // practice often the same one, NOT to every thread and not
+  // proportionally to their wall time. The folded output is therefore
+  // "what the process is doing over wall time" with best-effort,
+  // delivery-biased per-thread attribution; a proportional multi-thread
+  // wall profile would need one SIGEV_THREAD_ID timer per thread.
   struct sigevent event = {};
   event.sigev_notify = SIGEV_SIGNAL;
   event.sigev_signo = SIGPROF;

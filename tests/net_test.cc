@@ -1062,6 +1062,41 @@ TEST(HttpServerTraceTest, HandlersSeeTheInjectedTraceIdHeader) {
   server->Shutdown();
 }
 
+TEST(HttpServerTraceTest, ClientSentXTraceIdCannotShadowTheCanonicalId) {
+  auto server = std::make_unique<HttpServer>(HttpServerConfig());
+  server->Route("GET", "/whoami", [](const HttpRequest& request) {
+    // Join EVERY x-trace-id header the handler can see: a spoofed
+    // client copy surviving the dispatch would show up here.
+    std::string seen;
+    for (const auto& header : request.headers) {
+      if (header.first != "x-trace-id") continue;
+      if (!seen.empty()) seen += ",";
+      seen += header.second;
+    }
+    return HttpResponse::Text(200, seen);
+  });
+  ASSERT_TRUE(server->Start().ok());
+  HttpClient client("127.0.0.1", server->port(), FastClient());
+  // The spoofed x-trace-id must be stripped; the sanitized x-request-id
+  // is the legitimate input channel and wins.
+  auto response = client.Get("/whoami", {{"x-trace-id", "spoofed-id"},
+                                         {"x-request-id", "legit-7"}});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.ValueOrDie().body, "legit-7");
+  EXPECT_EQ(HeaderValue(response.ValueOrDie(), "x-trace-id"), "legit-7");
+
+  // With no legitimate input either, the spoof is still dropped in
+  // favor of a server-generated id.
+  auto spoof_only = client.Get("/whoami", {{"x-trace-id", "spoofed-id"}});
+  ASSERT_TRUE(spoof_only.ok());
+  EXPECT_NE(spoof_only.ValueOrDie().body, "spoofed-id");
+  EXPECT_TRUE(IsHex32(spoof_only.ValueOrDie().body))
+      << spoof_only.ValueOrDie().body;
+  EXPECT_EQ(HeaderValue(spoof_only.ValueOrDie(), "x-trace-id"),
+            spoof_only.ValueOrDie().body);
+  server->Shutdown();
+}
+
 // ==========================================================================
 // End-to-end correlation: trace id -> span tree -> exemplar -> debug routes.
 // ==========================================================================
@@ -1116,14 +1151,27 @@ TEST_F(NetScoringTest, TraceIdCorrelatesResponseSpanTreeAndExemplar) {
   }
 
   // 3. The latency histogram carries an exemplar referencing a trace id
-  // (the most recent cold recording into that bucket).
-  auto metrics = client.Get("/metrics");
+  // (the most recent cold recording into that bucket) — but only in the
+  // negotiated OpenMetrics dialect; a classic 0.0.4 scrape would choke
+  // on the '#' suffix, so it must stay exemplar-free.
+  auto metrics = client.Get(
+      "/metrics", {{"accept", "application/openmetrics-text"}});
   ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(HeaderValue(metrics.ValueOrDie(), "content-type"),
+            "application/openmetrics-text; version=1.0.0; charset=utf-8");
   const std::string& exposition = metrics.ValueOrDie().body;
   const size_t family = exposition.find("serve_latency_us_bucket");
   ASSERT_NE(family, std::string::npos);
   EXPECT_NE(exposition.find("# {trace_id=\"", family), std::string::npos)
       << "no exemplar on serve_latency_us";
+  EXPECT_NE(exposition.rfind("# EOF\n"), std::string::npos);
+
+  auto classic = client.Get("/metrics");
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(HeaderValue(classic.ValueOrDie(), "content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(classic.ValueOrDie().body.find(" # {"), std::string::npos)
+      << "classic 0.0.4 scrape must not carry exemplar suffixes";
 }
 
 TEST_F(NetScoringTest, BatchRequestStampsEveryResultWithTheTraceId) {
@@ -1227,6 +1275,28 @@ TEST_F(NetScoringTest, DebugVarsAndProfileEndpoints) {
     ASSERT_NE(space, std::string::npos) << line;
     EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
   }
+}
+
+TEST_F(NetScoringTest, DebugRoutesCanBeDisabled) {
+  // A deployment bound beyond loopback turns the unauthenticated debug
+  // surface off; the paths then 404 like any unknown route while the
+  // operational API keeps working.
+  HttpServer locked_down{HttpServerConfig()};
+  ScoringAppConfig config;
+  config.expose_debug_routes = false;
+  ScoringApp app(service_, &locked_down, config);
+  ASSERT_TRUE(locked_down.Start().ok());
+  HttpClient client("127.0.0.1", locked_down.port(), FastClient());
+  for (const char* path :
+       {"/debug/traces", "/debug/profile", "/debug/vars"}) {
+    auto response = client.Get(path);
+    ASSERT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response.ValueOrDie().status, 404) << path;
+  }
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.ValueOrDie().status, 200);
+  locked_down.Shutdown();
 }
 
 }  // namespace

@@ -467,7 +467,19 @@ TEST(HistogramExemplarTest, OverlongTraceIdIsTruncatedNotCorrupted) {
   histogram.Record(3.0, long_id);
   const Histogram::Snapshot snap = histogram.TakeSnapshot();
   ASSERT_EQ(snap.exemplars.size(), 1u);
-  EXPECT_EQ(snap.exemplars[0].trace_id, std::string(40, 'x'));
+  EXPECT_EQ(snap.exemplars[0].trace_id, std::string(64, 'x'));
+}
+
+TEST(HistogramExemplarTest, SlotHoldsTheLongestTransportTraceId) {
+  // net::ExtractTraceId caps sanitized x-request-id values at 64 chars;
+  // a slot must hold that much so the exposed exemplar id matches the
+  // response header and the retained trace exactly.
+  Histogram histogram(SmallConfig());
+  const std::string max_id(64, 'a');
+  histogram.Record(3.0, max_id);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].trace_id, max_id);
 }
 
 TEST(HistogramExemplarTest, ConcurrentExemplarRecordsStayConsistent) {
@@ -523,15 +535,25 @@ TEST(TextExpositionTest, EscapedLabelGolden) {
   EXPECT_EQ(TextExposition(&registry), expected);
 }
 
-TEST(TextExpositionTest, RendersExemplarSuffix) {
+TEST(TextExpositionTest, RendersExemplarSuffixOnlyInOpenMetrics) {
   MetricsRegistry registry;
   Histogram* hist =
       registry.HistogramAt("lat_us", "Latency", {}, SmallConfig());
   hist->Record(0.5);  // Underflow bucket, recorded without a trace id.
   hist->Record(3.0, "4bf92f3577b34da6a3ce929d0e0e4736");
-  const std::string text = TextExposition(&registry);
+
+  // The classic 0.0.4 dialect must stay exemplar-free: its parser treats
+  // a '#' after the sample value as a parse error, failing the scrape.
+  const std::string classic = TextExposition(&registry);
+  EXPECT_EQ(classic.find(" # {"), std::string::npos) << classic;
+  EXPECT_EQ(classic.find("# EOF"), std::string::npos) << classic;
+  EXPECT_NE(classic.find("lat_us_bucket{le=\"4\"} 2\n"), std::string::npos)
+      << classic;
+
   // OpenMetrics exemplar: `bucket-line # {labels} value timestamp`
   // (bucket counts are cumulative, so le="4" covers both records).
+  const std::string text =
+      TextExposition(&registry, ExpositionFormat::kOpenMetrics);
   const size_t pos = text.find(
       "lat_us_bucket{le=\"4\"} 2 "
       "# {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 3");
@@ -539,6 +561,41 @@ TEST(TextExpositionTest, RendersExemplarSuffix) {
   // Buckets without a captured exemplar stay bare.
   EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 1\n"), std::string::npos)
       << text;
+}
+
+TEST(TextExpositionTest, OpenMetricsGolden) {
+  MetricsRegistry registry;
+  FillSampleRegistry(&registry);
+  // Counter families drop the `_total` suffix on HELP/TYPE (the sample
+  // line keeps it, per the OpenMetrics abnf) and the stream ends with
+  // the mandatory `# EOF` marker.
+  const std::string expected =
+      "# HELP events Test events\n"
+      "# TYPE events counter\n"
+      "events_total{kind=\"a\"} 3\n"
+      "events_total{kind=\"b\"} 1\n"
+      "# HELP lat_us Latency\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"1\"} 1\n"
+      "lat_us_bucket{le=\"4\"} 2\n"
+      "lat_us_bucket{le=\"+Inf\"} 3\n"
+      "lat_us_sum 103.5\n"
+      "lat_us_count 3\n"
+      "# HELP queue_depth Depth\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 2.5\n"
+      "# EOF\n";
+  EXPECT_EQ(TextExposition(&registry, ExpositionFormat::kOpenMetrics),
+            expected);
+}
+
+TEST(TextExpositionTest, ContentTypesMatchDialects) {
+  EXPECT_EQ(
+      std::string(ExpositionContentType(ExpositionFormat::kPrometheusText)),
+      "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(
+      std::string(ExpositionContentType(ExpositionFormat::kOpenMetrics)),
+      "application/openmetrics-text; version=1.0.0; charset=utf-8");
 }
 
 TEST(JsonSnapshotTest, HistogramExemplarsAppearInJson) {

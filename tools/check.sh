@@ -63,6 +63,16 @@ if [[ "${fast}" != "1" ]]; then
       -H "traceparent: 00-${smoke_tid}-00f067aa0ba902b7-01" \
       -d "{\"address\": ${score_addr}}" \
       | grep -i "x-trace-id: ${smoke_tid}" >/dev/null
+  # Exemplars are dialect-gated: a classic 0.0.4 scrape must stay clean
+  # (a '#' after a sample value fails the whole Prometheus scrape) while
+  # a negotiated OpenMetrics scrape carries them plus the "# EOF" marker.
+  if curl -sf "${base}/metrics" | grep -F ' # {' >/dev/null; then
+    echo "http smoke: classic /metrics carries exemplar suffixes"
+    exit 1
+  fi
+  openmetrics="$(curl -sf -H 'Accept: application/openmetrics-text' "${base}/metrics")"
+  echo "${openmetrics}" | grep -F '# {trace_id="' >/dev/null
+  echo "${openmetrics}" | tail -1 | grep -x '# EOF' >/dev/null
   curl -sf "${base}/debug/traces" | grep '"traces"' >/dev/null
   curl -sf "${base}/debug/vars" | grep '"metrics"' >/dev/null
   # One second of wall-clock sampling must yield non-empty folded stacks
